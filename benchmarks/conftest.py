@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints the table/series it regenerates (the shape the
+paper's evaluation would have reported) in addition to the
+pytest-benchmark wall-clock measurement of the simulated scenario.
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: List[Sequence]) -> None:
+    """Render a fixed-width results table to stdout."""
+    widths = [len(str(h)) for h in header]
+    rendered_rows = []
+    for row in rows:
+        rendered = [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row]
+        rendered_rows.append(rendered)
+        widths = [max(w, len(cell)) for w, cell in zip(widths, rendered)]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for rendered in rendered_rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(rendered, widths)))
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a scenario exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

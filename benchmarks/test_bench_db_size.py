@@ -1,0 +1,55 @@
+"""E3 — transfer strategy comparison vs database size.
+
+Expected shape (section 4): the full-database transfer scales linearly
+with database size, while the filtered strategies (version check,
+RecTable, lazy, log filter) scale with the *changed set*, which for a
+fixed downtime is roughly constant — so their advantage grows with the
+database.
+"""
+
+import pytest
+
+from benchmarks.conftest import once, print_table
+from repro.scenarios import run_recovery_experiment
+
+SIZES = (100, 400, 1000)
+STRATEGIES = ("full", "version_check", "rectable", "log_filter", "lazy")
+
+
+def test_transfer_cost_vs_db_size(benchmark):
+    rows = []
+
+    def sweep():
+        for strategy in STRATEGIES:
+            for size in SIZES:
+                report = run_recovery_experiment(
+                    strategy=strategy, db_size=size, downtime=0.5,
+                    arrival_rate=120.0, seed=41,
+                )
+                rows.append([
+                    strategy, size, report.completed,
+                    report.extra["recovery_time"],
+                    int(report.extra["objects_sent"]),
+                    int(report.extra["bytes_sent"]),
+                ])
+        return rows
+
+    once(benchmark, sweep)
+    print_table(
+        "E3 — recovery cost vs database size (downtime 0.5s, 120 txn/s)",
+        ["strategy", "db size", "ok", "recovery time", "objects sent", "bytes sent"],
+        rows,
+    )
+    assert all(r[2] for r in rows)
+
+    def sent(strategy, size):
+        return next(r[4] for r in rows if r[0] == strategy and r[1] == size)
+
+    # Full transfer grows with the database...
+    assert sent("full", 1000) > sent("full", 100) * 5
+    # ...while the filtered strategies stay bounded by the changed set.
+    for strategy in ("version_check", "rectable", "log_filter"):
+        assert sent(strategy, 1000) < sent("full", 1000) / 2
+    # At every size, RecTable never sends more than version-check finds.
+    for size in SIZES:
+        assert sent("rectable", size) <= sent("version_check", size) + 5

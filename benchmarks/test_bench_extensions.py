@@ -1,0 +1,158 @@
+"""E11-E13 — extension ablations.
+
+E11: serial vs concurrent application of delivered transactions — the
+paper's section 2.2 argues that "processing messages serially as assumed
+for most applications deployed over group communication ... would result
+in significantly lower throughput rates".
+
+E12: partition-level (coarse) transfer locks vs per-object locks
+(section 4.3), and partitioned lazy round 1 fail-over (section 4.7).
+
+E13: the dynamic primary-view definition (section 2.1) buys availability
+in shrinking-cluster scenarios the static-majority rule cannot serve.
+"""
+
+from benchmarks.conftest import once, print_table
+from repro import (
+    ClusterBuilder,
+    FullTransferStrategy,
+    LoadGenerator,
+    NodeConfig,
+    WorkloadConfig,
+)
+from repro.gcs.config import GCSConfig
+from repro.replication.node import SiteStatus
+from repro.workload.metrics import summarize_latencies
+from tests.conftest import quick_cluster
+
+
+def test_e11_serial_vs_concurrent(benchmark):
+    rows = []
+
+    def run():
+        for serial in (False, True):
+            nc = NodeConfig(write_op_time=0.003, serial_processing=serial)
+            cluster = quick_cluster(db_size=300, seed=93, node_config=nc)
+            load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=250,
+                                                         reads_per_txn=0,
+                                                         writes_per_txn=2))
+            load.start()
+            cluster.run_for(1.5)
+            load.stop()
+            cluster.settle(5.0)
+            cluster.check()
+            latency = summarize_latencies(load.latencies())
+            rows.append([
+                "serial" if serial else "concurrent",
+                len(load.committed()), latency.mean * 1000, latency.p95 * 1000,
+                latency.maximum * 1000,
+            ])
+        return rows
+
+    once(benchmark, run)
+    print_table(
+        "E11 — serial vs concurrent write phases (250 txn/s, 3ms/write)",
+        ["application mode", "commits", "mean latency (ms)", "p95 (ms)", "max (ms)"],
+        rows,
+    )
+    concurrent = next(r for r in rows if r[0] == "concurrent")
+    serial = next(r for r in rows if r[0] == "serial")
+    assert serial[3] > concurrent[3] * 2  # p95 at least doubles
+    assert serial[1] == concurrent[1]  # same decisions, same commits
+
+
+def test_e12_transfer_lock_granularity(benchmark):
+    rows = []
+
+    def run():
+        for granularity in ("object", "partition"):
+            nc = NodeConfig(partition_count=8, transfer_obj_time=0.0005)
+            cluster = quick_cluster(
+                db_size=400, seed=83,
+                strategy=FullTransferStrategy(granularity=granularity),
+                node_config=nc,
+            )
+            load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=100,
+                                                         reads_per_txn=1,
+                                                         writes_per_txn=2))
+            load.start()
+            cluster.run_for(0.4)
+            cluster.crash("S3")
+            cluster.run_for(0.4)
+            grants_before = {s: cluster.nodes[s].db.locks.grants
+                             for s in cluster.universe}
+            recover_at = cluster.sim.now
+            cluster.recover("S3")
+            assert cluster.await_condition(
+                lambda: cluster.nodes["S3"].status is SiteStatus.ACTIVE, timeout=40
+            )
+            recovery_time = cluster.sim.now - recover_at
+            load.stop()
+            cluster.settle(0.5)
+            cluster.check()
+            peer = max(cluster.universe,
+                       key=lambda s: cluster.nodes[s].reconfig.transfers_started)
+            lock_wait = sum(sum(n.db.locks.wait_times) for n in cluster.nodes.values())
+            rows.append([
+                granularity,
+                cluster.nodes[peer].db.locks.grants - grants_before[peer],
+                recovery_time, lock_wait,
+            ])
+        return rows
+
+    once(benchmark, run)
+    print_table(
+        "E12 — full-transfer lock granularity (db=400, 8 partitions)",
+        ["granularity", "peer lock grants during recovery",
+         "recovery time", "total lock wait (s)"],
+        rows,
+    )
+    coarse = next(r for r in rows if r[0] == "partition")
+    fine = next(r for r in rows if r[0] == "object")
+    assert coarse[1] < fine[1] / 3  # far fewer lock operations
+    # ...bought with more blocking (coarse locks cover more, held longer).
+    assert coarse[3] >= fine[3] * 0.5
+
+
+def test_e13_dynamic_primary_availability(benchmark):
+    rows = []
+
+    def run():
+        for policy in ("static", "dynamic_linear"):
+            cluster = ClusterBuilder(
+                n_sites=5, db_size=40, seed=97, strategy="rectable",
+                gcs_config=GCSConfig(primary_policy=policy),
+            ).build()
+            cluster.start()
+            assert cluster.await_all_active(timeout=10)
+            load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=100,
+                                                         reads_per_txn=1,
+                                                         writes_per_txn=2))
+            load.start()
+            cluster.run_for(0.5)
+            cluster.partition([["S3", "S4", "S5"], ["S1", "S2"]])
+            cluster.run_for(1.0)
+            commits_mid = len(load.committed())
+            cluster.partition([["S3", "S4"], ["S5"], ["S1", "S2"]])
+            cluster.run_for(1.5)
+            load.stop()
+            cluster.settle(0.5)
+            available = cluster.nodes["S3"].status is SiteStatus.ACTIVE
+            rows.append([
+                policy, available,
+                len(load.committed()) - commits_mid,
+                len(load.committed()),
+            ])
+        return rows
+
+    once(benchmark, run)
+    print_table(
+        "E13 — availability after a shrinking primary chain (5 -> 3 -> 2 sites)",
+        ["primary policy", "processing after 2nd split",
+         "commits after 2nd split", "total commits"],
+        rows,
+    )
+    static = next(r for r in rows if r[0] == "static")
+    dynamic = next(r for r in rows if r[0] == "dynamic_linear")
+    assert not static[1] and dynamic[1]
+    assert dynamic[2] > static[2]

@@ -1,0 +1,72 @@
+"""Microbenchmarks of the substrates (real wall-clock, not simulated).
+
+These are classic library microbenchmarks: how fast are the simulator
+kernel, the lock manager and the total-order machinery themselves.
+Useful for spotting accidental algorithmic regressions (e.g. a lock
+grant scan going quadratic).
+"""
+
+from repro.db.locks import LockManager, LockMode
+from repro.gcs.messages import Ack, Data
+from repro.gcs.total_order import ViewTotalOrder
+from repro.gcs.view import View, ViewId
+from repro.sim.core import Simulator
+
+
+def test_simulator_event_throughput(benchmark):
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 20_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_lock_manager_grant_release_throughput(benchmark):
+    def run():
+        lm = LockManager()
+        for i in range(5_000):
+            txn = f"T{i}"
+            lm.request(txn, f"obj{i % 64}", LockMode.EXCLUSIVE)
+            lm.release(txn)
+        return lm.grants
+
+    assert benchmark(run) == 5_000
+
+
+def test_lock_manager_contended_queue(benchmark):
+    def run():
+        lm = LockManager()
+        for i in range(300):
+            lm.request(f"T{i}", "hot", LockMode.EXCLUSIVE)
+        for i in range(300):
+            lm.release(f"T{i}")
+        return lm.grants
+
+    assert benchmark(run) == 300
+
+
+def test_total_order_sequencing_throughput(benchmark):
+    view = View(ViewId(1, "S1"), ("S1", "S2", "S3"))
+
+    def run():
+        outbox = []
+        delivered = []
+        to = ViewTotalOrder(view, "S1", 0, lambda dst, m: outbox.append(m),
+                            delivered.append)
+        for i in range(2_000):
+            to.on_data(Data(sender="S1", msg_id=i, view_id=view.view_id, payload=i))
+            # every member acks immediately
+            for member in view.members:
+                to.on_ack(Ack(sender=member, view_id=view.view_id, highwater=i))
+        return len(delivered)
+
+    assert benchmark(run) == 2_000

@@ -1,0 +1,57 @@
+"""E6 — recovery behaviour vs the workload's read/write ratio.
+
+Expected shape: transfer read locks conflict only with writers, so
+write-heavy workloads suffer more interference from lock-holding
+strategies (full/version-check) and produce a larger changed set; a
+read-heavy workload barely notices the transfer.
+"""
+
+from benchmarks.conftest import once, print_table
+from repro import NodeConfig
+from repro.scenarios import run_recovery_experiment
+
+# (reads, writes) per transaction at a fixed total of 4 operations.
+MIXES = ((4, 0), (3, 1), (2, 2), (0, 4))
+
+
+def test_interference_vs_rw_ratio(benchmark):
+    rows = []
+
+    def sweep():
+        for strategy in ("full", "log_filter"):
+            for reads, writes in MIXES:
+                report = run_recovery_experiment(
+                    strategy=strategy, db_size=300, downtime=0.5,
+                    arrival_rate=150.0, reads_per_txn=reads, writes_per_txn=writes,
+                    seed=53, node_config=NodeConfig(transfer_obj_time=0.001),
+                )
+                rows.append([
+                    strategy, f"{reads}r/{writes}w", report.completed,
+                    int(report.extra["objects_sent"]),
+                    report.extra["lock_wait_total"],
+                    report.extra["mean_latency"],
+                ])
+        return rows
+
+    once(benchmark, sweep)
+    print_table(
+        "E6 — read/write mix vs transfer interference (db=300)",
+        ["strategy", "mix", "ok", "objects sent", "total lock wait (s)", "mean latency"],
+        rows,
+    )
+    assert all(r[2] for r in rows)
+
+    def wait(strategy, mix):
+        return next(r[4] for r in rows if r[0] == strategy and r[1] == mix)
+
+    def sent(strategy, mix):
+        return next(r[3] for r in rows if r[0] == strategy and r[1] == mix)
+
+    # Write-heavy load suffers more lock waiting under the lock-holding
+    # full transfer than read-only load does.
+    assert wait("full", "0r/4w") > wait("full", "4r/0w")
+    # A read-only workload changes nothing: filtered transfer is empty.
+    assert sent("log_filter", "4r/0w") == 0
+    # The multiversion strategy interferes less than the lock-holding one
+    # under the write-heavy mix.
+    assert wait("log_filter", "0r/4w") <= wait("full", "0r/4w")

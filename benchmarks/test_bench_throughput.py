@@ -1,0 +1,52 @@
+"""E5 — recovery behaviour vs transaction throughput.
+
+Expected shape (section 4.7): under higher load the *eager* strategies
+make the joiner enqueue (and later replay) more and more transaction
+messages — "the joining site might not be able to store all transaction
+messages delivered during the data transfer, or might not be able to
+apply them fast enough" — while the lazy strategy keeps the enqueued
+window small (only the last round is synchronized).
+"""
+
+from benchmarks.conftest import once, print_table
+from repro import NodeConfig
+from repro.scenarios import run_recovery_experiment
+
+RATES = (50.0, 150.0, 300.0)
+
+
+def test_enqueue_backlog_vs_rate(benchmark):
+    rows = []
+
+    def sweep():
+        for strategy in ("full", "rectable", "lazy"):
+            for rate in RATES:
+                report = run_recovery_experiment(
+                    strategy=strategy, db_size=400, downtime=0.8,
+                    arrival_rate=rate, seed=47,
+                    node_config=NodeConfig(transfer_obj_time=0.001),
+                )
+                rows.append([
+                    strategy, rate, report.completed,
+                    int(report.extra["enqueue_high_watermark"]),
+                    report.replayed,
+                    report.extra["recovery_time"],
+                ])
+        return rows
+
+    once(benchmark, sweep)
+    print_table(
+        "E5 — joiner backlog vs offered load (db=400, downtime 0.8s)",
+        ["strategy", "txn/s", "ok", "enqueue high-water", "replayed", "recovery time"],
+        rows,
+    )
+    assert all(r[2] for r in rows)
+
+    def backlog(strategy, rate):
+        return next(r[3] for r in rows if r[0] == strategy and r[1] == rate)
+
+    # Eager backlog grows with the rate; lazy stays small at every rate.
+    assert backlog("full", 300.0) > backlog("full", 50.0)
+    for rate in RATES:
+        assert backlog("lazy", rate) <= backlog("full", rate)
+    assert backlog("lazy", 300.0) < backlog("full", 300.0) / 2

@@ -1,0 +1,53 @@
+"""E4 — transfer strategy comparison vs fraction of the database updated
+during the joiner's downtime.
+
+Expected shape (section 4.4): "transferring the entire database will
+often be highly inefficient, e.g., when the site has been down for a
+very short time"; the filtered strategies transfer only the changed
+part, so their cost grows with downtime while the full transfer is flat
+— with a crossover as the update fraction approaches one.
+"""
+
+from benchmarks.conftest import once, print_table
+from repro.scenarios import run_recovery_experiment
+
+DOWNTIMES = (0.2, 1.0, 3.0)
+STRATEGIES = ("full", "version_check", "rectable", "lazy")
+DB_SIZE = 300
+
+
+def test_transfer_cost_vs_update_fraction(benchmark):
+    rows = []
+
+    def sweep():
+        for strategy in STRATEGIES:
+            for downtime in DOWNTIMES:
+                report = run_recovery_experiment(
+                    strategy=strategy, db_size=DB_SIZE, downtime=downtime,
+                    arrival_rate=200.0, writes_per_txn=2, seed=43,
+                )
+                objects = int(report.extra["objects_sent"])
+                rows.append([
+                    strategy, downtime, round(objects / DB_SIZE, 3),
+                    report.completed, objects, report.extra["recovery_time"],
+                ])
+        return rows
+
+    once(benchmark, sweep)
+    print_table(
+        "E4 — objects transferred vs downtime (db=300, 200 txn/s)",
+        ["strategy", "downtime", "sent/db ratio", "ok", "objects sent", "recovery time"],
+        rows,
+    )
+    assert all(r[3] for r in rows)
+
+    def sent(strategy, downtime):
+        return next(r[4] for r in rows if r[0] == strategy and r[1] == downtime)
+
+    # Full transfer is flat in the update fraction...
+    assert sent("full", 0.2) == sent("full", 3.0) == DB_SIZE
+    # ...filtered strategies grow with downtime...
+    for strategy in ("version_check", "rectable"):
+        assert sent(strategy, 3.0) > sent(strategy, 0.2)
+    # ...and for short downtime they beat full transfer by a wide margin.
+    assert sent("rectable", 0.2) <= DB_SIZE / 3

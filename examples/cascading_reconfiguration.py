@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Cascading reconfiguration — Figure 1 (plain VS) vs Figure 2 (EVS).
+
+Runs the paper's cascading schedule twice — a site fails and recovers,
+its peer fails during the data transfer, then a partition isolates and
+returns part of the system — once over plain virtual synchrony and once
+over Enriched View Synchrony, and contrasts the coordination each mode
+needs: explicit up-to-date announcements vs structural subview merges.
+
+Run:  python examples/cascading_reconfiguration.py
+"""
+
+from repro.scenarios import run_figure1_scenario
+
+
+def main() -> None:
+    print("running the Figure 1 schedule under plain virtual synchrony...")
+    vs = run_figure1_scenario(mode="vs", strategy="rectable", seed=17)
+    print("running the same schedule under EVS (Figure 2)...")
+    evs = run_figure1_scenario(mode="evs", strategy="rectable", seed=17)
+
+    print(f"\n{'metric':38s} {'plain VS':>10s} {'EVS':>10s}")
+    print("-" * 60)
+    rows = [
+        ("completed", vs.completed, evs.completed),
+        ("virtual duration (s)", f"{vs.duration:.2f}", f"{evs.duration:.2f}"),
+        ("commits", vs.commits, evs.commits),
+        ("transfers started", vs.transfers_started, evs.transfers_started),
+        ("transfers completed", vs.transfers_completed, evs.transfers_completed),
+        ("up-to-date announcements", vs.announcements, evs.announcements),
+        ("Subview-SetMerge events", vs.svs_merges, evs.svs_merges),
+        ("SubviewMerge events", vs.sv_merges, evs.sv_merges),
+        ("enqueued txns replayed", vs.replayed, evs.replayed),
+    ]
+    for label, vs_value, evs_value in rows:
+        print(f"{label:38s} {str(vs_value):>10s} {str(evs_value):>10s}")
+
+    print("""
+Interpretation (section 5 of the paper):
+ * plain VS cannot tell an up-to-date member from a recovering one, so
+   joiners must multicast explicit announcements, and every member has
+   to track who announced what across view changes (Figure 1's
+   complications);
+ * under EVS the same information is structural: a site is up to date
+   iff it is in the primary subview.  Reconfiguration is encapsulated
+   between the Subview-SetMerge (transfer starts) and the SubviewMerge
+   (final synchronization point), and peer failures are handled by
+   looking at the current e-view alone.""")
+
+
+if __name__ == "__main__":
+    main()

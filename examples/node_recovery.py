@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Online node recovery: compare the five data transfer strategies.
+
+A site crashes under load, stays down while the rest of the cluster
+keeps committing, then recovers.  The example runs the same schedule
+once per strategy (sections 4.3-4.7 of the paper) and prints how much
+data each one shipped, how long recovery took, and how much the ongoing
+workload was delayed at the peer.
+
+Run:  python examples/node_recovery.py
+"""
+
+from repro import ClusterBuilder, LoadGenerator, NodeConfig, WorkloadConfig
+from repro.replication.node import SiteStatus
+
+STRATEGIES = ("full", "version_check", "rectable", "log_filter", "lazy")
+
+
+def run_one(strategy: str):
+    cluster = ClusterBuilder(
+        n_sites=3, db_size=400, seed=11, strategy=strategy,
+        node_config=NodeConfig(transfer_obj_time=0.001),
+    ).build()
+    cluster.start()
+    assert cluster.await_all_active(timeout=10)
+    load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=150,
+                                                 reads_per_txn=1, writes_per_txn=2))
+    load.start()
+    cluster.run_for(0.5)
+
+    cluster.crash("S3")
+    cluster.run_for(1.0)  # down-time: ~25-30% of the database gets updated
+    cluster.recover("S3")
+    recover_at = cluster.sim.now
+    assert cluster.await_condition(
+        lambda: cluster.nodes["S3"].status is SiteStatus.ACTIVE, timeout=40
+    ), f"{strategy}: rejoin timed out"
+    recovery_time = cluster.sim.now - recover_at
+
+    load.stop()
+    cluster.settle(0.5)
+    cluster.check()  # replicas identical, history serializable
+
+    objects_sent = sum(n.reconfig.objects_sent_total for n in cluster.nodes.values())
+    lock_wait = sum(sum(n.db.locks.wait_times) for n in cluster.nodes.values())
+    return {
+        "strategy": strategy,
+        "recovery_time": recovery_time,
+        "objects_sent": objects_sent,
+        "enqueued": cluster.nodes["S3"].enqueue_high_watermark,
+        "replayed": cluster.nodes["S3"].reconfig.replayed_transactions,
+        "lock_wait": lock_wait,
+        "commits": len(load.committed()),
+    }
+
+
+def main() -> None:
+    header = (f"{'strategy':14s} {'recovery(s)':>11s} {'objects sent':>12s} "
+              f"{'enqueued':>8s} {'replayed':>8s} {'lock wait(s)':>12s} {'commits':>7s}")
+    print("one crash + 1.0s downtime + recovery under 150 txn/s, db = 400 objects\n")
+    print(header)
+    print("-" * len(header))
+    for strategy in STRATEGIES:
+        result = run_one(strategy)
+        print(f"{result['strategy']:14s} {result['recovery_time']:>11.2f} "
+              f"{result['objects_sent']:>12d} {result['enqueued']:>8d} "
+              f"{result['replayed']:>8d} {result['lock_wait']:>12.3f} "
+              f"{result['commits']:>7d}")
+    print("\nfull ships the whole database; the filtered strategies ship only the")
+    print("changed part; lazy additionally keeps the joiner's enqueue/replay work")
+    print("near zero; log_filter avoids transfer locks entirely (multiversion).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Database engine substrate.
+
+Everything the paper's reconfiguration protocols assume of the local
+database system is implemented here:
+
+* a versioned object store (:mod:`repro.db.store`) where every object is
+  tagged with the global identifier of the last transaction that wrote
+  it (section 2.2);
+* a strict two-phase lock manager (:mod:`repro.db.locks`) with shared /
+  exclusive modes, FIFO fairness and a coarse database-level lock
+  (needed by the RecTable transfer strategy of section 4.5);
+* a physical write-ahead log with before- and after-images
+  (:mod:`repro.db.wal`) surviving crashes in
+  :class:`repro.db.wal.PersistentStorage`;
+* single-site recovery (:mod:`repro.db.recovery`): redo of committed
+  work from the log, computation of the *cover transaction* (section 4.4);
+* the reconstruction table **RecTable** (:mod:`repro.db.rectable`) with
+  background registration and cover-based garbage collection
+  (section 4.5);
+* a per-site facade (:mod:`repro.db.database`) tying these together.
+"""
+
+from repro.db.database import Database
+from repro.db.locks import DB_RESOURCE, LockManager, LockMode, LockRequest
+from repro.db.rectable import RecTable
+from repro.db.recovery import RecoveryResult, run_single_site_recovery
+from repro.db.store import ObjectStore
+from repro.db.wal import (
+    AbortRecord,
+    BaselineRecord,
+    BeginRecord,
+    CommitRecord,
+    NoopRecord,
+    PersistentStorage,
+    WriteRecord,
+)
+
+__all__ = [
+    "AbortRecord",
+    "BaselineRecord",
+    "BeginRecord",
+    "CommitRecord",
+    "Database",
+    "DB_RESOURCE",
+    "LockManager",
+    "LockMode",
+    "LockRequest",
+    "NoopRecord",
+    "ObjectStore",
+    "PersistentStorage",
+    "RecTable",
+    "RecoveryResult",
+    "WriteRecord",
+    "run_single_site_recovery",
+]

@@ -1,0 +1,82 @@
+"""The versioned object store.
+
+Section 2.2 of the paper: "objects are tagged with version numbers" and
+the replica control protocol "assigns the version number gid(T) to the
+object" on every write.  Because the gid is the position of the
+transaction in the total order, **all sites have the same version number
+for an object at a given logical time point** — which is precisely what
+the version-check transfer strategy (section 4.4) exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+
+#: Version assigned to objects of the initial database image (no writer yet).
+INITIAL_VERSION = -1
+
+
+class ObjectStore:
+    """In-memory object store mapping object id -> (value, version)."""
+
+    def __init__(self, initial: Optional[Dict[str, Any]] = None) -> None:
+        self._data: Dict[str, Any] = {}
+        self._version: Dict[str, int] = {}
+        if initial:
+            for obj, value in initial.items():
+                self._data[obj] = value
+                self._version[obj] = INITIAL_VERSION
+
+    # ------------------------------------------------------------------
+    def __contains__(self, obj: str) -> bool:
+        return obj in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def objects(self) -> Iterator[str]:
+        """Object identifiers in deterministic (sorted) order."""
+        return iter(sorted(self._data))
+
+    def read(self, obj: str) -> Tuple[Any, int]:
+        """Return (value, version).  KeyError if the object is unknown."""
+        return self._data[obj], self._version[obj]
+
+    def value(self, obj: str) -> Any:
+        return self._data[obj]
+
+    def version(self, obj: str) -> int:
+        return self._version[obj]
+
+    def write(self, obj: str, value: Any, version: int) -> None:
+        """Install ``value`` with writer version ``version`` (a gid)."""
+        self._data[obj] = value
+        self._version[obj] = version
+
+    def remove(self, obj: str) -> None:
+        self._data.pop(obj, None)
+        self._version.pop(obj, None)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Tuple[Any, int]]:
+        """A consistent copy {obj: (value, version)} of the whole store."""
+        return {obj: (self._data[obj], self._version[obj]) for obj in self._data}
+
+    def load_snapshot(self, snapshot: Dict[str, Tuple[Any, int]]) -> None:
+        """Replace the entire content (used when installing transferred state)."""
+        self._data = {obj: value for obj, (value, _) in snapshot.items()}
+        self._version = {obj: version for obj, (_, version) in snapshot.items()}
+
+    def apply(self, items: Iterable[Tuple[str, Any, int]]) -> None:
+        """Apply (obj, value, version) triples, keeping the newest version.
+
+        Used when incorporating transferred data: a version already more
+        recent locally (e.g. installed by an enqueued transaction) wins.
+        """
+        for obj, value, version in items:
+            if obj not in self._version or self._version[obj] <= version:
+                self.write(obj, value, version)
+
+    def content_digest(self) -> Tuple[Tuple[str, Any, int], ...]:
+        """Canonical content tuple, for equality checks across replicas."""
+        return tuple((obj, self._data[obj], self._version[obj]) for obj in sorted(self._data))

@@ -1,0 +1,134 @@
+"""Write-ahead log and the stable storage that survives crashes.
+
+The paper (section 3, Single Site Recovery): "each site usually
+maintains a log during normal processing such that for each write
+operation on object X the before- and after-images of X are appended to
+the log".  We log physical images plus begin/commit/abort/baseline
+markers; :mod:`repro.db.recovery` replays them.
+
+:class:`PersistentStorage` is the crash-surviving part of a site: the
+log plus a (possibly stale) checkpoint image flushed by a fuzzy
+checkpointer with a no-steal policy (only committed values reach the
+image, so recovery is pure redo).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BaselineRecord:
+    """The database state incorporates every transaction with gid <= gid.
+
+    Written when the initial copy is loaded (gid = -1) and when a data
+    transfer completes (gid = the synchronization point).
+    """
+
+    gid: int
+
+
+@dataclass(frozen=True)
+class BeginRecord:
+    """A transaction message with this gid entered the serialization phase."""
+
+    gid: int
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """Physical before/after images of one write operation."""
+
+    gid: int
+    obj: str
+    before_value: Any
+    before_version: int
+    after_value: Any
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    gid: int
+
+
+@dataclass(frozen=True)
+class AbortRecord:
+    gid: int
+
+
+@dataclass(frozen=True)
+class ReconcileRecord:
+    """A locally committed transaction turned out to be a *phantom*: it
+    never committed in the primary lineage (possible only under plain
+    reliable delivery, section 2.3) and its effects were compensated
+    during recovery.  Recovery must stop treating the gid as committed."""
+
+    gid: int
+
+
+@dataclass(frozen=True)
+class NoopRecord:
+    """A delivered message at this gid carried no transaction (e.g. a
+    control message); logged so the cover computation can account for it."""
+
+    gid: int
+
+
+LogRecord = Any  # union of the record dataclasses above
+
+
+class PersistentStorage:
+    """Crash-surviving state of one site: the WAL plus a checkpoint image."""
+
+    def __init__(self) -> None:
+        self.log: List[LogRecord] = []
+        self.checkpoint_image: Dict[str, Tuple[Any, int]] = {}
+        self.flushes = 0
+
+    # ------------------------------------------------------------------
+    def append(self, record: LogRecord) -> None:
+        self.log.append(record)
+
+    def records(self) -> Iterator[LogRecord]:
+        return iter(self.log)
+
+    def __len__(self) -> int:
+        return len(self.log)
+
+    # ------------------------------------------------------------------
+    def checkpoint(self, image: Dict[str, Tuple[Any, int]]) -> None:
+        """Install a fuzzy checkpoint of committed values.
+
+        The caller guarantees no-steal (no uncommitted values in
+        ``image``); recovery therefore never needs to undo image state.
+        The log is kept whole unless :meth:`truncate_through` is called —
+        recovery replays committed after-images whose version exceeds the
+        image's.
+        """
+        self.checkpoint_image = dict(image)
+        self.flushes += 1
+
+    def truncate_through(self, gid: int) -> int:
+        """Drop log records the checkpoint image subsumes.
+
+        Safe precondition (enforced by the caller): every transaction
+        with gid' <= gid has terminated and its committed effects are in
+        the checkpoint image.  A ``BaselineRecord(gid)`` summarises the
+        dropped prefix so recovery still computes the right cover.
+        Returns the number of records removed.
+        """
+        kept: List[LogRecord] = [BaselineRecord(gid)]
+        removed = 0
+        for record in self.log:
+            record_gid = getattr(record, "gid", None)
+            if record_gid is not None and record_gid <= gid:
+                removed += 1
+            else:
+                kept.append(record)
+        self.log = kept
+        return removed
+
+    def log_bytes(self, record_size: int = 64) -> int:
+        """Approximate log volume, for benchmark accounting."""
+        return len(self.log) * record_size

@@ -1,0 +1,76 @@
+"""Tunable parameters of the group communication system."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class GCSConfig:
+    """Timing and behaviour knobs for :class:`repro.gcs.member.GroupMember`.
+
+    The defaults assume network latencies around a millisecond (the
+    default :class:`repro.net.UniformLatency`); all values are virtual
+    seconds.
+
+    Attributes
+    ----------
+    presence_interval:
+        Period of the PRESENCE broadcast, which doubles as the in-view
+        heartbeat and as the discovery beacon for joiners and merges.
+    suspect_timeout:
+        Silence threshold after which a node is suspected by the failure
+        detector.  Must be comfortably larger than ``presence_interval``.
+    stabilization_delay:
+        Debounce between detecting a membership mismatch and initiating a
+        view change round, so that bursts of suspicions/joins coalesce
+        into a single view change.
+    flush_timeout:
+        How long a round initiator waits for FLUSH replies before
+        abandoning the round, force-suspecting the silent members and
+        retrying with a higher epoch.
+    round_timeout:
+        How long a participant stays blocked waiting for SYNC before
+        abandoning the round and resuming its old view.
+    retransmit_interval:
+        Period of the maintenance task that re-sends unsequenced DATA,
+        NAKs sequence gaps and re-broadcasts ACKs while messages are
+        buffered undelivered.  Only matters under message loss.
+    uniform:
+        If True (default, and required by the paper's section 2.1),
+        messages are delivered only when every view member has
+        acknowledged receipt (safe delivery).  Setting it to False gives
+        plain reliable delivery and is used by the atomicity-violation
+        ablation (experiment E9c).
+    primary_policy:
+        How view primacy is decided (section 2.1): ``"static"`` — a
+        majority of the static universe (the paper's default) — or
+        ``"dynamic_linear"`` — a majority of the previous primary view,
+        the extension the paper calls straightforward.
+    """
+
+    presence_interval: float = 0.05
+    suspect_timeout: float = 0.22
+    stabilization_delay: float = 0.06
+    flush_timeout: float = 0.5
+    round_timeout: float = 1.0
+    retransmit_interval: float = 0.1
+    uniform: bool = True
+    primary_policy: str = "static"
+    #: Allow the member set to grow at runtime (the paper's "extending
+    #: our discussion to dynamic groups ... is straightforward"): nodes
+    #: discovered through presence beacons join the universe.  Requires
+    #: the dynamic-linear primary policy — with a growing universe there
+    #: is no static majority to define primacy against.
+    dynamic_universe: bool = False
+
+    def validate(self) -> None:
+        if self.suspect_timeout <= self.presence_interval:
+            raise ValueError("suspect_timeout must exceed presence_interval")
+        if self.round_timeout <= self.flush_timeout:
+            raise ValueError("round_timeout must exceed flush_timeout")
+        if self.dynamic_universe and self.primary_policy != "dynamic_linear":
+            raise ValueError(
+                "dynamic_universe requires primary_policy='dynamic_linear' "
+                "(a growing universe has no static majority)"
+            )

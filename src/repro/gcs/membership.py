@@ -1,0 +1,286 @@
+"""Coordinator-driven view-synchronous membership.
+
+A *membership round* replaces the current view(s) of a set of nodes with
+one new view, preserving virtual synchrony:
+
+* **PROPOSE** — the initiator (deterministically, the smallest node id
+  among the mutually reachable alive nodes) proposes a composition.
+* **FLUSH** — every proposed member freezes message delivery and replies
+  with its delivered prefix and every sequenced-but-undelivered message
+  it holds, plus opaque per-layer application state.
+* **SYNC** — the initiator merges, per previous view, the union of the
+  reported messages; every participant delivers the gap-free
+  continuation of that union (so all installers of the new view have
+  delivered the same set in the old view — virtual synchrony), then
+  installs the new view with an agreed ``base_gseq`` (the maximum
+  continuation counter among participants, which keeps global sequence
+  numbers monotone across consecutive views).
+
+Failure handling: the initiator abandons a round when FLUSH replies are
+missing past a timeout (force-suspecting the silent nodes and retrying
+with a higher epoch); participants abandon a round when SYNC does not
+arrive and resume their previous view.  Competing rounds are resolved by
+round priority (higher epoch wins, ties broken toward the smaller
+initiator id) with explicit NACKs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.gcs.messages import (
+    FlushNack,
+    FlushReply,
+    Ordered,
+    Propose,
+    RoundId,
+    Sync,
+    round_priority,
+)
+from repro.gcs.primary import PrimaryLineage, most_recent
+from repro.gcs.view import View, ViewId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gcs.member import GroupMember
+
+
+class MembershipEngine:
+    """Runs membership rounds for one :class:`GroupMember`."""
+
+    def __init__(self, member: "GroupMember") -> None:
+        self.member = member
+        self.current_round: Optional[RoundId] = None
+        self.initiating = False
+        self._round_members: Tuple[str, ...] = ()
+        self._flushes: Dict[str, FlushReply] = {}
+        self._flush_deadline = 0.0
+        self._sync_deadline = 0.0
+        self._mismatch_since: Optional[float] = None
+        self.rounds_initiated = 0
+        self.rounds_completed = 0
+        self.rounds_aborted = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        self.current_round = None
+        self.initiating = False
+        self._round_members = ()
+        self._flushes = {}
+        self._mismatch_since = None
+
+    # ------------------------------------------------------------------
+    # Periodic driver
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        member = self.member
+        if self.current_round is not None:
+            now = member.sim.now
+            if self.initiating and now >= self._flush_deadline:
+                for node in self._round_members:
+                    if node not in self._flushes:
+                        member.fd.force_suspect(node)
+                self._abort_round()
+            elif not self.initiating and now >= self._sync_deadline:
+                self._abort_round()
+            return
+        self._maybe_initiate()
+
+    def _maybe_initiate(self) -> None:
+        member = self.member
+        desired = member.fd.alive_nodes() | {member.node_id}
+        view_members = set(member.view.members)
+        mismatch = desired != view_members or any(
+            member.fd.claimed_view(n) not in (None, member.view.view_id)
+            for n in desired
+            if n != member.node_id
+        )
+        if not mismatch:
+            self._mismatch_since = None
+            return
+        if member.node_id != min(desired):
+            self._mismatch_since = None
+            return
+        now = member.sim.now
+        if self._mismatch_since is None:
+            self._mismatch_since = now
+            return
+        if now - self._mismatch_since < member.config.stabilization_delay:
+            return
+        self._initiate(tuple(sorted(desired)))
+
+    def _initiate(self, members: Tuple[str, ...]) -> None:
+        member = self.member
+        epoch = max(member.epoch_floor, member.fd.max_epoch_seen) + 1
+        round_id: RoundId = (epoch, member.node_id)
+        self.current_round = round_id
+        self.initiating = True
+        self._round_members = members
+        self._flushes = {}
+        self._flush_deadline = member.sim.now + member.config.flush_timeout
+        self._mismatch_since = None
+        self.rounds_initiated += 1
+        propose = Propose(round_id=round_id, members=members)
+        for node in members:
+            if node == member.node_id:
+                self.on_propose(node, propose)
+            else:
+                member.endpoint.send(node, propose)
+
+    def _abort_round(self) -> None:
+        member = self.member
+        self.rounds_aborted += 1
+        self.current_round = None
+        self.initiating = False
+        self._round_members = ()
+        self._flushes = {}
+        self._mismatch_since = None
+        member.resume_after_aborted_round()
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def on_propose(self, src: str, msg: Propose) -> None:
+        member = self.member
+        if member.node_id not in msg.members:
+            return
+        member.fd.note_epoch(msg.round_id[0])
+        if self.current_round is not None and self.current_round != msg.round_id:
+            if round_priority(self.current_round) >= round_priority(msg.round_id):
+                reply = FlushNack(
+                    round_id=msg.round_id,
+                    sender=member.node_id,
+                    better_round=self.current_round,
+                )
+                if msg.round_id[1] == member.node_id:
+                    self.on_flush_nack(member.node_id, reply)
+                else:
+                    member.endpoint.send(msg.round_id[1], reply)
+                return
+            # The incoming round wins: abandon ours and join it.
+            self.current_round = None
+            self.initiating = False
+            self._flushes = {}
+        if self.current_round == msg.round_id and not self.initiating:
+            return  # duplicate PROPOSE
+        if not self.initiating or self.current_round != msg.round_id:
+            self.current_round = msg.round_id
+            self._sync_deadline = member.sim.now + member.config.round_timeout
+        member.freeze_for_flush()
+        reply = FlushReply(
+            round_id=msg.round_id,
+            sender=member.node_id,
+            prev_view=member.view,
+            delivered_seq=member.to.delivered_seq,
+            next_gseq=member.to.next_gseq,
+            received=member.to.flush_cut(),
+            app_state=member.collect_flush_state(),
+            stable_seq=member.to.stable_seq,
+            lineage=member.lineage,
+        )
+        initiator = msg.round_id[1]
+        if initiator == member.node_id:
+            self.on_flush_reply(member.node_id, reply)
+        else:
+            member.endpoint.send(initiator, reply)
+
+    def on_flush_reply(self, src: str, msg: FlushReply) -> None:
+        if not self.initiating or msg.round_id != self.current_round:
+            return
+        self._flushes[msg.sender] = msg
+        if set(self._flushes) == set(self._round_members):
+            self._complete_round()
+
+    def on_flush_nack(self, src: str, msg: FlushNack) -> None:
+        if self.initiating and msg.round_id == self.current_round:
+            self._abort_round()
+
+    def _complete_round(self) -> None:
+        member = self.member
+        round_id = self.current_round
+        assert round_id is not None
+        epoch, initiator = round_id
+        new_view = View(ViewId(epoch, initiator), self._round_members)
+
+        # Group flush replies by previous view and merge message unions.
+        groups: Dict[ViewId, List[FlushReply]] = {}
+        for reply in self._flushes.values():
+            groups.setdefault(reply.prev_view.view_id, []).append(reply)
+
+        # Primacy under the configured policy, from the collected lineage
+        # claims (section 2.1: static majority, or majority of the
+        # previous primary view).
+        claims = [reply.lineage for reply in self._flushes.values()]
+        new_view_primary = member.primary_policy.decide(
+            new_view.members, len(member.universe), claims
+        )
+        best = most_recent(claims)
+        if new_view_primary:
+            generation = (best.generation + 1) if best is not None else 1
+            new_lineage = PrimaryLineage(generation, new_view.members)
+        else:
+            new_lineage = best
+        sync_messages: Dict[ViewId, Tuple[Ordered, ...]] = {}
+        base_gseq = 0
+        final_gseq: Dict[str, int] = {}
+        for view_id, replies in groups.items():
+            union: Dict[int, Ordered] = {}
+            for reply in replies:
+                for ordered in reply.received:
+                    union[ordered.seq] = ordered
+            if not new_view_primary and member.config.uniform:
+                # Uniformity adaptation (section 2.1): a flush into a
+                # non-primary view may only deliver messages provably
+                # received by *every* member of the previous view, so the
+                # deliveries of sites leaving the primary component stay a
+                # subset of the next primary view's.
+                stable_cut = max(reply.stable_seq for reply in replies)
+                union = {s: m for s, m in union.items() if s <= stable_cut}
+            ordered_union = tuple(union[s] for s in sorted(union))
+            sync_messages[view_id] = ordered_union
+            for reply in replies:
+                base_gseq = max(base_gseq, reply.next_gseq)
+                # Walk the union from this member's delivered prefix to
+                # find the gseq it will have after applying SYNC.
+                seq = reply.delivered_seq
+                gseq = reply.next_gseq
+                while seq + 1 in union:
+                    seq += 1
+                    gseq = union[seq].gseq + 1
+                final_gseq[reply.sender] = gseq
+                base_gseq = max(base_gseq, gseq)
+
+        states = {reply.sender: reply.app_state for reply in self._flushes.values()}
+        sync = Sync(
+            round_id=round_id,
+            view=new_view,
+            base_gseq=base_gseq,
+            sync_messages=sync_messages,
+            states=states,
+            primary=new_view_primary,
+            lineage=new_lineage,
+            stale=tuple(sorted(
+                sender for sender, gseq in final_gseq.items() if gseq < base_gseq
+            )),
+        )
+        self.rounds_completed += 1
+        for node in self._round_members:
+            if node == member.node_id:
+                self.on_sync(member.node_id, sync)
+            else:
+                member.endpoint.send(node, sync)
+
+    def on_sync(self, src: str, msg: Sync) -> None:
+        member = self.member
+        if msg.round_id != self.current_round:
+            return
+        self.current_round = None
+        self.initiating = False
+        self._flushes = {}
+        self._round_members = ()
+        union = msg.sync_messages.get(member.view.view_id, ())
+        member.to.deliver_sync(union)
+        member.stale_members = msg.stale
+        member.install_view(msg.view, msg.base_gseq, msg.states,
+                            primary=msg.primary, lineage=msg.lineage)

@@ -1,0 +1,162 @@
+"""Wire messages of the group communication system.
+
+All GCS traffic is built from these dataclasses, sent as plain unicast
+payloads through :class:`repro.net.Network`.  Application payloads are
+opaque to the GCS (carried inside :class:`Data` / :class:`Ordered`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.gcs.view import View, ViewId
+
+#: A round identifier: (epoch, initiator).  Higher epoch wins; on equal
+#: epochs the round with the *smaller* initiator id has priority.
+RoundId = Tuple[int, str]
+
+
+def round_priority(round_id: RoundId) -> Tuple[int, Tuple[int, ...]]:
+    """Sort key so that ``max`` picks the winning round.
+
+    Smaller initiator ids beat larger ones at equal epoch, hence the
+    negated character ordering.
+    """
+    epoch, initiator = round_id
+    return (epoch, tuple(-ord(c) for c in initiator))
+
+
+@dataclass(frozen=True)
+class Presence:
+    """Periodic beacon: heartbeat within the view + discovery across views."""
+
+    sender: str
+    view_id: ViewId
+    view_members: Tuple[str, ...]
+    epoch: int
+
+
+@dataclass(frozen=True)
+class Data:
+    """A multicast request sent by the originator to the view sequencer."""
+
+    sender: str
+    msg_id: int
+    view_id: ViewId
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Ordered:
+    """A sequenced message, multicast by the sequencer to all view members."""
+
+    view_id: ViewId
+    seq: int
+    gseq: int
+    sender: str
+    msg_id: int
+    payload: Any
+
+
+@dataclass(frozen=True)
+class Ack:
+    """Cumulative acknowledgement: 'I hold all Ordered up to highwater'."""
+
+    sender: str
+    view_id: ViewId
+    highwater: int
+
+
+@dataclass(frozen=True)
+class Nak:
+    """Request to the sequencer for retransmission of missing sequence numbers."""
+
+    sender: str
+    view_id: ViewId
+    missing: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class Propose:
+    """Phase 1 of a membership round: the initiator proposes a composition."""
+
+    round_id: RoundId
+    members: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FlushReply:
+    """Phase 2: a participant's flush contribution.
+
+    ``received`` carries every Ordered message the participant holds
+    beyond its delivered prefix, so the initiator can compute the
+    synchronization set for virtual synchrony.
+    ``app_state`` is opaque per-layer state (EVS structure, replication
+    status) exchanged through the view change.
+    """
+
+    round_id: RoundId
+    sender: str
+    prev_view: View
+    delivered_seq: int
+    next_gseq: int
+    received: Tuple[Ordered, ...]
+    app_state: Dict[str, Any] = field(default_factory=dict)
+    #: Highest sequence number this member can prove every previous-view
+    #: member holds (its local all-ack knowledge).  When the *new* view is
+    #: not primary, only the union prefix up to the group's best stable
+    #: cut may be delivered — otherwise a minority site could deliver a
+    #: message the next primary view never received, violating the
+    #: paper's uniformity adaptation (section 2.1).
+    stable_seq: int = -1
+    #: This member's knowledge of the most recent primary view (a
+    #: PrimaryLineage or None); feeds the dynamic primary-view policy.
+    lineage: Any = None
+
+
+@dataclass(frozen=True)
+class FlushNack:
+    """A participant refuses a round because it is engaged in a better one."""
+
+    round_id: RoundId
+    sender: str
+    better_round: RoundId
+
+
+@dataclass(frozen=True)
+class Sync:
+    """Phase 3: install the new view.
+
+    ``sync_messages`` maps previous-view id to the full union of Ordered
+    messages gathered from that view's survivors; each participant
+    delivers its missing gap-free prefix before installing.
+    ``states`` maps node id to the ``app_state`` it reported in FLUSH.
+    """
+
+    round_id: RoundId
+    view: View
+    base_gseq: int
+    sync_messages: Dict[ViewId, Tuple[Ordered, ...]]
+    states: Dict[str, Dict[str, Any]]
+    #: Primacy of the new view, decided by the coordinator from the
+    #: configured policy and the collected lineage claims, so that all
+    #: installers agree by construction.
+    primary: bool = False
+    lineage: Any = None
+    #: Members whose delivery position after SYNC is behind the agreed
+    #: base gseq: the lineage delivered messages they never saw, so the
+    #: application must not treat them as up to date.
+    stale: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EvsRequest:
+    """An EVS merge primitive, multicast totally ordered within the view.
+
+    ``kind`` is ``"subview_set_merge"`` or ``"subview_merge"``;
+    ``targets`` holds the subview-set (resp. subview) identifiers to merge.
+    """
+
+    kind: str
+    targets: Tuple[Any, ...]

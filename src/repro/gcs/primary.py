@@ -1,0 +1,91 @@
+"""Primary-view policies (section 2.1).
+
+The paper's default: "any view with a majority of sites is a primary
+view (the number of sites is assumed to be static and known)".  It also
+notes that "extending our discussion to ... other definitions of
+primary view (e.g., a view containing a majority of the previous
+primary view) is straightforward" — this module provides both.
+
+The *dynamic-linear* policy threads a primary lineage through the
+system: a view is primary iff it contains a majority of the members of
+the most recent primary view (bootstrapping from a majority of the
+static universe).  Because any two majorities of the same set
+intersect, at most one chain of primaries can exist — but the policy
+tolerates shrinkage: after primary {S1..S5} -> {S3,S4,S5}, the view
+{S3,S4} (a majority of three, though only 2 of 5) is still primary.
+
+Primacy is decided by the membership-round coordinator from the
+lineage claims collected in the flush, and shipped in the SYNC message,
+so all installers of a view agree on its primacy by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PrimaryLineage:
+    """One member's knowledge of the most recent primary view."""
+
+    generation: int
+    members: Tuple[str, ...]
+
+
+def most_recent(claims: Sequence[Optional[PrimaryLineage]]) -> Optional[PrimaryLineage]:
+    """The highest-generation lineage claim among the participants."""
+    best: Optional[PrimaryLineage] = None
+    for claim in claims:
+        if claim is None:
+            continue
+        if best is None or claim.generation > best.generation:
+            best = claim
+    return best
+
+
+class PrimaryPolicy:
+    """Interface: decide whether a freshly formed view is primary."""
+
+    name = "abstract"
+
+    def decide(
+        self,
+        members: Tuple[str, ...],
+        universe_size: int,
+        claims: Sequence[Optional[PrimaryLineage]],
+    ) -> bool:
+        raise NotImplementedError
+
+
+class StaticMajorityPolicy(PrimaryPolicy):
+    """The paper's default: majority of the static universe."""
+
+    name = "static"
+
+    def decide(self, members, universe_size, claims) -> bool:
+        return 2 * len(members) > universe_size
+
+
+class DynamicLinearPolicy(PrimaryPolicy):
+    """Majority of the previous primary view (bootstrap: of the universe)."""
+
+    name = "dynamic_linear"
+
+    def decide(self, members, universe_size, claims) -> bool:
+        lineage = most_recent(claims)
+        if lineage is None:
+            return 2 * len(members) > universe_size
+        overlap = len(set(members) & set(lineage.members))
+        return 2 * overlap > len(lineage.members)
+
+
+def policy_by_name(name: str) -> PrimaryPolicy:
+    policies: Dict[str, type] = {
+        StaticMajorityPolicy.name: StaticMajorityPolicy,
+        DynamicLinearPolicy.name: DynamicLinearPolicy,
+    }
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ValueError(f"unknown primary policy {name!r}; known: {sorted(policies)}") from None

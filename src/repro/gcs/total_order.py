@@ -1,0 +1,210 @@
+"""Uniform total-order multicast within a view (fixed sequencer).
+
+Protocol (per view):
+
+1. The *sequencer* is the lexicographically smallest view member.
+2. A member multicasts by unicasting ``Data`` to the sequencer, which
+   assigns the next view sequence number and the next *global* sequence
+   number (gseq), and multicasts ``Ordered`` to every member.
+3. Every member, upon holding ``Ordered`` s, broadcasts a cumulative
+   ``Ack`` (highest gap-free sequence it holds).
+4. A message is **delivered** in sequence order once *all* view members
+   have acknowledged it (safe / uniform delivery).  This is what makes
+   the multicast uniform in the sense of the paper's section 2.1:
+   anything delivered by any member — including one that crashes or
+   walks into a minority partition right after — is physically present
+   at every member, so the flush at the next view change can hand it to
+   all survivors.
+
+With ``uniform=False`` step 4 degrades to plain in-order delivery upon
+receipt, which is the setting used by the atomicity ablation (E9c).
+
+Global sequence numbers: each ``Ordered`` carries ``gseq``; the view's
+``base_gseq`` is agreed during the view change (max of the participants'
+counters), so gseq values are monotone across consecutive views and all
+members of a view agree on the gseq of every message.  The replica
+control layer uses gseq directly as the transaction global identifier.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.gcs.messages import Ack, Data, Nak, Ordered
+from repro.gcs.view import View
+
+DeliverFn = Callable[[Ordered], None]
+SendFn = Callable[[str, object], None]
+
+
+class ViewTotalOrder:
+    """Per-view total order state machine for one member.
+
+    A fresh instance is created at every view installation; the old one
+    is discarded after its flush cut has been extracted.
+    """
+
+    def __init__(
+        self,
+        view: View,
+        me: str,
+        base_gseq: int,
+        send: SendFn,
+        deliver: DeliverFn,
+        uniform: bool = True,
+    ) -> None:
+        self.view = view
+        self.me = me
+        self.base_gseq = base_gseq
+        self._send = send
+        self._deliver = deliver
+        self.uniform = uniform
+        self.sequencer = min(view.members)
+        self.closed = False
+
+        # Sequencer-side state.
+        self._next_seq = 0
+        self._sequenced_msg_ids: set = set()
+        self._history: Dict[int, Ordered] = {}
+
+        # Receiver-side state.
+        self.received: Dict[int, Ordered] = {}
+        self.recv_highwater = -1  # highest gap-free seq held
+        self.delivered_seq = -1  # highest seq delivered to the app
+        self.ack_high: Dict[str, int] = {m: -1 for m in view.members}
+
+    # ------------------------------------------------------------------
+    # Sequencer side
+    # ------------------------------------------------------------------
+    def on_data(self, msg: Data) -> None:
+        """Sequencer: assign the next (seq, gseq) and multicast Ordered."""
+        if self.closed or self.me != self.sequencer:
+            return
+        key = (msg.sender, msg.msg_id)
+        if key in self._sequenced_msg_ids:
+            return  # duplicate (sender retransmission)
+        self._sequenced_msg_ids.add(key)
+        seq = self._next_seq
+        self._next_seq += 1
+        ordered = Ordered(
+            view_id=self.view.view_id,
+            seq=seq,
+            gseq=self.base_gseq + seq,
+            sender=msg.sender,
+            msg_id=msg.msg_id,
+            payload=msg.payload,
+        )
+        self._history[seq] = ordered
+        for member in self.view.members:
+            if member == self.me:
+                self.on_ordered(ordered)
+            else:
+                self._send(member, ordered)
+
+    def on_nak(self, msg: Nak) -> None:
+        """Sequencer: retransmit the requested sequence numbers."""
+        if self.me != self.sequencer:
+            return
+        for seq in msg.missing:
+            ordered = self._history.get(seq)
+            if ordered is not None:
+                self._send(msg.sender, ordered)
+
+    # ------------------------------------------------------------------
+    # Receiver side
+    # ------------------------------------------------------------------
+    def on_ordered(self, msg: Ordered) -> None:
+        if self.closed or msg.view_id != self.view.view_id:
+            return
+        if msg.seq in self.received:
+            return
+        self.received[msg.seq] = msg
+        advanced = False
+        while self.recv_highwater + 1 in self.received:
+            self.recv_highwater += 1
+            advanced = True
+        if advanced:
+            self._broadcast_ack()
+        self._maybe_deliver()
+
+    def on_ack(self, msg: Ack) -> None:
+        if self.closed or msg.view_id != self.view.view_id:
+            return
+        if msg.sender not in self.ack_high:
+            return
+        if msg.highwater > self.ack_high[msg.sender]:
+            self.ack_high[msg.sender] = msg.highwater
+            self._maybe_deliver()
+
+    def _broadcast_ack(self) -> None:
+        ack = Ack(sender=self.me, view_id=self.view.view_id, highwater=self.recv_highwater)
+        for member in self.view.members:
+            if member == self.me:
+                self.on_ack(ack)
+            else:
+                self._send(member, ack)
+
+    def _stable_seq(self) -> int:
+        """Highest seq acknowledged by every view member."""
+        return min(self.ack_high.values()) if self.ack_high else -1
+
+    @property
+    def stable_seq(self) -> int:
+        """Public view of the all-ack stability horizon (for flush)."""
+        return self._stable_seq()
+
+    def _maybe_deliver(self) -> None:
+        limit = self._stable_seq() if self.uniform else self.recv_highwater
+        while not self.closed and self.delivered_seq + 1 <= limit:
+            nxt = self.received.get(self.delivered_seq + 1)
+            if nxt is None:
+                break
+            self.delivered_seq += 1
+            self._deliver(nxt)
+
+    # ------------------------------------------------------------------
+    # Maintenance (loss recovery) and flush support
+    # ------------------------------------------------------------------
+    def gaps(self) -> Tuple[int, ...]:
+        """Missing sequence numbers below the highest received one."""
+        if not self.received:
+            return ()
+        top = max(self.received)
+        return tuple(s for s in range(self.recv_highwater + 1, top) if s not in self.received)
+
+    def maintenance(self) -> None:
+        """Periodic loss recovery: NAK gaps, re-ACK while undelivered."""
+        if self.closed:
+            return
+        missing = self.gaps()
+        if missing and self.me != self.sequencer:
+            self._send(self.sequencer, Nak(sender=self.me, view_id=self.view.view_id, missing=missing))
+        if self.recv_highwater > self.delivered_seq:
+            self._broadcast_ack()
+
+    def flush_cut(self) -> Tuple[Ordered, ...]:
+        """Everything received beyond the delivered prefix, for FLUSH."""
+        return tuple(
+            self.received[s] for s in sorted(self.received) if s > self.delivered_seq
+        )
+
+    def deliver_sync(self, union: Tuple[Ordered, ...]) -> None:
+        """Deliver the gap-free continuation of the flush union, then close.
+
+        Called during view change installation: ``union`` is the merged
+        set of Ordered messages gathered from every survivor of this
+        view (a superset of every participant's own buffer, possibly
+        truncated to the stable prefix when the new view is not
+        primary).  Every installer ends up having delivered exactly the
+        same prefix, which is the virtual synchrony guarantee.
+        """
+        by_seq = {m.seq: m for m in union}
+        while by_seq.get(self.delivered_seq + 1) is not None:
+            self.delivered_seq += 1
+            self._deliver(by_seq[self.delivered_seq])
+        self.closed = True
+
+    @property
+    def next_gseq(self) -> int:
+        """gseq the next delivery would get (continuation counter)."""
+        return self.base_gseq + self.delivered_seq + 1

@@ -1,0 +1,59 @@
+"""Views and view identifiers.
+
+A view identifier orders views by ``(epoch, coordinator)``: epochs grow
+monotonically across the whole system (every membership round uses an
+epoch larger than any epoch its initiator has seen), so consecutive views
+at a site always have increasing identifiers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class ViewId:
+    """Totally ordered view identifier: (epoch, coordinator id)."""
+
+    epoch: int
+    coordinator: str
+
+    def __str__(self) -> str:
+        return f"{self.epoch}@{self.coordinator}"
+
+
+@dataclass(frozen=True)
+class View:
+    """An installed view: identifier plus sorted member tuple."""
+
+    view_id: ViewId
+    members: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "members", tuple(sorted(self.members)))
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self.members
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def is_primary(self, universe_size: int) -> bool:
+        """A view with a majority of the (static, known) universe is primary."""
+        return 2 * len(self.members) > universe_size
+
+    def __str__(self) -> str:
+        return f"View({self.view_id}, {{{', '.join(self.members)}}})"
+
+
+def singleton_view(node_id: str, epoch: int) -> View:
+    """The view a node boots (or recovers) into: itself alone."""
+    return View(ViewId(epoch, node_id), (node_id,))
+
+
+def majority(universe: Iterable[str], members: Iterable[str]) -> bool:
+    """True iff ``members`` form a majority of ``universe``."""
+    universe = list(universe)
+    members = set(members)
+    return 2 * len(members & set(universe)) > len(universe)

@@ -1,0 +1,6 @@
+"""Message-passing network substrate with latency, loss, partitions, crashes."""
+
+from repro.net.latency import FixedLatency, LatencyModel, UniformLatency
+from repro.net.network import Endpoint, Network
+
+__all__ = ["Endpoint", "FixedLatency", "LatencyModel", "Network", "UniformLatency"]

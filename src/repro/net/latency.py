@@ -1,0 +1,49 @@
+"""Latency models for the simulated network.
+
+The paper assumes an asynchronous system: "neither message delays nor
+computing speeds can be bounded with certainty".  :class:`UniformLatency`
+gives unbounded-ish jitter (no protocol below relies on a bound for
+*safety*; timeouts only affect liveness and view accuracy).
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class LatencyModel:
+    """Interface: return the one-way delay for a message."""
+
+    def sample(self, rng: random.Random) -> float:
+        raise NotImplementedError
+
+
+class FixedLatency(LatencyModel):
+    """Constant one-way delay.  Handy for deterministic unit tests."""
+
+    def __init__(self, delay: float = 0.001) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = delay
+
+    def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def __repr__(self) -> str:
+        return f"FixedLatency({self.delay})"
+
+
+class UniformLatency(LatencyModel):
+    """One-way delay drawn uniformly from [low, high]."""
+
+    def __init__(self, low: float = 0.0005, high: float = 0.002) -> None:
+        if not 0 <= low <= high:
+            raise ValueError("need 0 <= low <= high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random) -> float:
+        return rng.uniform(self.low, self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency({self.low}, {self.high})"

@@ -1,0 +1,198 @@
+"""The simulated network: endpoints, unicast, partitions, crashes.
+
+Semantics (matching the paper's system model, section 2.1):
+
+* asynchronous: per-message delay drawn from a latency model;
+* unreliable: messages may be lost (`loss_rate`), and messages in flight
+  to a crashed or partitioned-away endpoint are dropped at delivery time;
+* partitionable: the network is divided into components; messages cross
+  component boundaries only after the partition heals;
+* crash/recovery: endpoints can be taken down and brought back up.  No
+  Byzantine behaviour.
+
+All higher layers (group communication, state transfer) send plain
+unicast messages through :meth:`Network.send`; multicast is built above.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+
+from repro.sim.core import Simulator
+from repro.net.latency import LatencyModel, UniformLatency
+
+Handler = Callable[[str, Any], None]
+
+
+class Endpoint:
+    """A network attachment point for one node.
+
+    The owning node registers a handler; the endpoint delivers messages to
+    it only while `up` is True.  Bytes counters support the benchmarks.
+    """
+
+    def __init__(self, network: "Network", node_id: str) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.up = False
+        #: Reliable endpoints model a TCP-like transport (the paper's data
+        #: transfer channel): messages between two reliable endpoints are
+        #: never randomly lost — though partitions and crashes still
+        #: sever them.
+        self.reliable = False
+        self._handler: Optional[Handler] = None
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    def attach(self, handler: Handler) -> None:
+        self._handler = handler
+
+    def send(self, dst: str, payload: Any) -> None:
+        self.network.send(self.node_id, dst, payload)
+
+    def send_many(self, dsts: Iterable[str], payload: Any) -> None:
+        for dst in dsts:
+            self.network.send(self.node_id, dst, payload)
+
+    def _deliver(self, src: str, payload: Any) -> None:
+        if self.up and self._handler is not None:
+            self.messages_received += 1
+            self._handler(src, payload)
+
+
+class Network:
+    """Central switch connecting all endpoints of a simulation.
+
+    Partitions are modelled as a mapping node -> component id.  Two nodes
+    can communicate iff they are in the same component.  ``heal()`` puts
+    every node back into one component.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss_rate: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.latency = latency or UniformLatency()
+        self.loss_rate = loss_rate
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._component: Dict[str, int] = {}
+        self.messages_in_flight = 0
+        self.messages_dropped = 0
+        self.messages_delivered = 0
+        self._taps: List[Callable[[str, str, Any], None]] = []
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def endpoint(self, node_id: str) -> Endpoint:
+        """Create (or return) the endpoint for ``node_id``."""
+        if node_id not in self._endpoints:
+            self._endpoints[node_id] = Endpoint(self, node_id)
+            self._component[node_id] = 0
+        return self._endpoints[node_id]
+
+    @property
+    def node_ids(self) -> List[str]:
+        return sorted(self._endpoints)
+
+    def bring_up(self, node_id: str) -> None:
+        self.endpoint(node_id).up = True
+
+    def take_down(self, node_id: str) -> None:
+        """Crash a node's network presence; in-flight messages to it are lost."""
+        self.endpoint(node_id).up = False
+
+    def is_up(self, node_id: str) -> bool:
+        return node_id in self._endpoints and self._endpoints[node_id].up
+
+    def set_partitions(self, groups: Iterable[Iterable[str]]) -> None:
+        """Split the network into the given components.
+
+        Every listed node is assigned the component of its group; nodes not
+        listed keep component -1 and become unreachable from everyone (a
+        safe default that makes omissions loud in tests).
+        """
+        assignment: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for node in group:
+                if node in assignment:
+                    raise ValueError(f"node {node} listed in two partition groups")
+                assignment[node] = index
+        for node in self._endpoints:
+            self._component[node] = assignment.get(node, -1 - len(assignment))
+        # Unlisted nodes each get their own singleton component.
+        fresh = len(list(assignment))
+        for node in self._endpoints:
+            if node not in assignment:
+                fresh += 1
+                self._component[node] = fresh
+
+    def heal(self) -> None:
+        """Merge all components back into one connected network."""
+        for node in self._component:
+            self._component[node] = 0
+
+    def reachable(self, a: str, b: str) -> bool:
+        if a == b:
+            return True
+        return self._component.get(a) == self._component.get(b)
+
+    # ------------------------------------------------------------------
+    # Message transport
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Unicast ``payload`` from ``src`` to ``dst``.
+
+        Reachability is checked both at send time and at delivery time, so
+        a partition or crash occurring while the message is in flight drops
+        it — the standard fair-lossy-link model.
+        """
+        source = self._endpoints.get(src)
+        if source is None or not source.up:
+            return
+        source.messages_sent += 1
+        if dst not in self._endpoints:
+            self.messages_dropped += 1
+            return
+        if not self.reachable(src, dst):
+            self.messages_dropped += 1
+            return
+        reliable_link = source.reliable and self._endpoints[dst].reliable
+        if (
+            not reliable_link
+            and self.loss_rate > 0.0
+            and self.sim.rng.random() < self.loss_rate
+        ):
+            self.messages_dropped += 1
+            return
+        delay = self.latency.sample(self.sim.rng)
+        self.messages_in_flight += 1
+        self.sim.schedule(delay, self._arrive, src, dst, payload, label=f"net {src}->{dst}")
+
+    def _arrive(self, src: str, dst: str, payload: Any) -> None:
+        self.messages_in_flight -= 1
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None or not endpoint.up or not self.reachable(src, dst):
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        for tap in self._taps:
+            tap(src, dst, payload)
+        endpoint._deliver(src, payload)
+
+    def add_tap(self, tap: Callable[[str, str, Any], None]) -> None:
+        """Register an observer called for every delivered message."""
+        self._taps.append(tap)
+
+    # ------------------------------------------------------------------
+    def components(self) -> List[Set[str]]:
+        """Current partition components (only nodes with endpoints)."""
+        by_component: Dict[int, Set[str]] = {}
+        for node, component in self._component.items():
+            by_component.setdefault(component, set()).add(node)
+        return [members for _, members in sorted(by_component.items())]

@@ -1,0 +1,351 @@
+"""Reconfiguration using Enriched View Synchrony (section 5.2).
+
+The manager encodes the paper's handling rules:
+
+I.   On a view change:
+     1. for every subview-set other than the primary's, a deterministic
+        peer in the primary subview issues Subview-SetMerge "whenever
+        appropriate";
+     2. if a peer left, the newly elected peer either issues the merge
+        (the old peer died before initiating it) or *resumes* the data
+        transfer (joiner already in the peer's subview-set);
+     3. transfers to joiners that left the view stop;
+     4. a site that left the primary subview stops processing and stops
+        its transfers.
+II.  On a Subview-SetMerge e-view change: the peer starts the data
+     transfer to every site of each newly merged subview.
+III. On a SubviewMerge e-view change: the merged sites are up-to-date;
+     the peer issues it once every site of the subview has caught up.
+
+Implementation note: merge requests are totally ordered, but a request
+issued against identities that a concurrently delivered merge rewrote is
+dropped by the EVS layer as a no-op.  Every e-view change therefore ends
+in a *reconciliation pass* that re-derives pending work from the current
+structure; racing re-issues are themselves no-ops, so the system makes
+progress without duplicating merges.
+
+The key property (benchmark E2 measures exactly this): the up-to-date
+bookkeeping that plain VS needs explicit announcements for is
+*structural* here — "the notion of up-to-date member depends on the
+membership of the primary subview, not of the primary view".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+from repro.gcs.evs import EView, SubviewId
+from repro.reconfig.manager import BaseReconfigManager
+from repro.reconfig.transfer import CatchUpComplete, PeerTransferSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.replication.node import ReplicatedDatabaseNode
+
+
+def elect_for(candidates, index: int) -> Optional[str]:
+    """Deterministic choice of a primary-subview member for task #index."""
+    candidates = sorted(candidates)
+    if not candidates:
+        return None
+    return candidates[index % len(candidates)]
+
+
+class EvsReconfigManager(BaseReconfigManager):
+    """Section 5.2's reconfiguration rules, driven by e-view changes."""
+
+    def __init__(self, node: "ReplicatedDatabaseNode", strategy) -> None:
+        super().__init__(node, strategy)
+        self._pending_svs_merges: Set[SubviewId] = set()
+        self._caught_up_joiners: Set[str] = set()
+        self._sv_merges_requested: Set[SubviewId] = set()
+        self._creation_source = False
+        self._catch_up_sent = False
+        self.svs_merges_issued = 0
+        self.sv_merges_issued = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def evs(self):
+        member = self.node.evs_member
+        assert member is not None, "EvsReconfigManager requires an EVS member"
+        return member
+
+    def _primary_subview(self, eview: EView):
+        return eview.primary_subview(len(self.node.universe))
+
+    def _is_coordinating(self, eview: EView) -> bool:
+        """Am I responsible for driving reconfigurations right now?"""
+        primary = self._primary_subview(eview)
+        if primary is not None:
+            return self.node.site_id in primary
+        return self._creation_source
+
+    # ------------------------------------------------------------------
+    # E-view change dispatch
+    # ------------------------------------------------------------------
+    def on_eview_change(self, eview: EView, reason: str, states, gseq=None) -> None:
+        self._pending_svs_merges.clear()
+        self._sv_merges_requested.clear()
+        if reason == "view_change":
+            self._on_view_change(eview)
+        elif reason == "subview_set_merge":
+            self._on_subview_set_merge(eview, gseq)
+        elif reason == "subview_merge":
+            self._on_subview_merge(eview, gseq)
+
+    # ------------------------------------------------------------------
+    # Rule I: view changes
+    # ------------------------------------------------------------------
+    def _on_view_change(self, eview: EView) -> None:
+        from repro.replication.node import SiteStatus
+
+        node = self.node
+        primary = self._primary_subview(eview)
+        self._caught_up_joiners &= set(eview.view.members)
+
+        if node.status in (SiteStatus.STALLED, SiteStatus.DOWN):
+            # Rule I.4: out of the primary component.
+            self.cancel_all_sessions()
+            if self.joiner_session is not None:
+                self.joiner_session.cancel()
+                self.joiner_session = None
+            self._abort_replay()
+            self.caught_up = False
+            self._catch_up_sent = False
+            self.activation_authorized = False
+            self._creation_source = False
+            self._creation_started = False
+            self._creation_reports = {}
+            self._caught_up_joiners.clear()
+            return
+
+        if primary is None or node.site_id not in primary:
+            # Authorization to activate is structural and per-merge: any
+            # view change that leaves me outside a primary subview voids it.
+            self.activation_authorized = False
+
+        if primary is None and not self._creation_source:
+            # Primary view but no operational primary subview: every site
+            # realizes locally that processing must be suspended, and the
+            # creation protocol runs once all sites are present.
+            self.cancel_all_sessions()
+            self.check_creation(eview.view)
+            return
+
+        if primary is not None and node.site_id not in primary:
+            # I'm a joiner.  Enqueueing starts once my subview-set has
+            # been merged with the primary's (rule II); re-check here for
+            # the cascaded / resume case.
+            if node.member.last_install_missed > 0:
+                self.restart_join()
+                self._catch_up_sent = False
+            my_svs = eview.subview_set_of(node.site_id)
+            if primary <= my_svs and not self.strategy.lazy:
+                self.enqueue_mode = True
+            if self.joiner_session is not None and self.joiner_session.peer not in eview.view:
+                self.joiner_session.cancel()
+                self.joiner_session = None
+            return
+
+        self._reconcile(eview, sync_gid=node.member.to.base_gseq - 1)
+
+    # ------------------------------------------------------------------
+    # Rule II: subview-set merged
+    # ------------------------------------------------------------------
+    def _on_subview_set_merge(self, eview: EView, gseq: Optional[int]) -> None:
+        node = self.node
+        primary = self._primary_subview(eview)
+        sync_gid = gseq if gseq is not None else node.last_processed_gid
+        if self._is_coordinating(eview):
+            self._reconcile(eview, sync_gid)
+            return
+        # Joiner side: "discards transactions until it is in the same
+        # subview-set as the primary subview, then starts enqueueing".
+        # During creation (no primary subview yet) nothing is processing,
+        # but switching to enqueue mode is the safe equivalent.
+        my_svs = eview.subview_set_of(node.site_id)
+        merged_with_primary = primary is not None and primary <= my_svs
+        if (merged_with_primary or primary is None) and not self.strategy.lazy:
+            self.enqueue_mode = True
+
+    # ------------------------------------------------------------------
+    # Rule III: subview merged -> recovery of those sites completed
+    # ------------------------------------------------------------------
+    def _on_subview_merge(self, eview: EView, gseq: Optional[int]) -> None:
+        node = self.node
+        primary = self._primary_subview(eview)
+        if primary is not None and node.site_id in primary:
+            for site in primary:
+                node.site_utd[site] = True
+            if not node.up_to_date:
+                # I was just merged into the primary subview: the final
+                # synchronization point (activation still waits for the
+                # replay queue to drain).
+                self.activation_authorized = True
+                self.maybe_activate()
+            self._caught_up_joiners -= set(primary)
+            if self._is_coordinating(eview):
+                sync_gid = gseq if gseq is not None else node.last_processed_gid
+                self._reconcile(eview, sync_gid)
+            return
+        if self._creation_source:
+            sync_gid = gseq if gseq is not None else node.last_processed_gid
+            self._reconcile(eview, sync_gid)
+
+    # ------------------------------------------------------------------
+    # The reconciliation pass (rules I.1-I.3, II, III precondition)
+    # ------------------------------------------------------------------
+    def _reconcile(self, eview: EView, sync_gid: int) -> None:
+        node = self.node
+        primary = self._primary_subview(eview)
+        if primary is not None:
+            coordinators = sorted(primary)
+            my_sv = eview.subview_id_of(node.site_id)
+            my_svs_id = eview.subview_set_id_of(node.site_id)
+        elif self._creation_source:
+            coordinators = [node.site_id]
+            my_sv = eview.subview_id_of(node.site_id)
+            my_svs_id = eview.subview_set_id_of(node.site_id)
+        else:
+            return
+
+        # Rule I.3: stop transfers to joiners that left the view; also
+        # re-anchor transfers whose joiner missed part of the lineage.
+        for joiner in list(self.sessions_out):
+            if joiner not in eview.view or joiner in node.member.stale_members:
+                self.cancel_session(joiner)
+
+        # Rule I.1: merge foreign subview-sets into ours.
+        foreign_svs = sorted(
+            (svs_id for svs_id in eview.subview_sets() if svs_id != my_svs_id), key=str
+        )
+        for index, svs_id in enumerate(foreign_svs):
+            if elect_for(coordinators, index) == node.site_id:
+                self._schedule_svs_merge(my_svs_id, svs_id)
+
+        # Rules I.2 / II / III precondition, for every subview of my
+        # subview-set that is not (part of) the primary subview.
+        my_svs_members = eview.subview_set_of(node.site_id)
+        anchor = primary if primary is not None else frozenset({node.site_id})
+        foreign_subviews = sorted(
+            (
+                sv_id
+                for sv_id, members in eview.subviews().items()
+                if members <= my_svs_members and not (members & anchor)
+            ),
+            key=str,
+        )
+        for index, sv_id in enumerate(foreign_subviews):
+            if elect_for(coordinators, index) != node.site_id:
+                continue
+            members = eview.subviews()[sv_id]
+            if members <= self._caught_up_joiners:
+                # Rule III precondition: every site of the subview caught
+                # up -> merge it into the primary subview.
+                if sv_id not in self._sv_merges_requested:
+                    self._sv_merges_requested.add(sv_id)
+                    self.sv_merges_issued += 1
+                    self.evs.subview_merge((my_sv, sv_id))
+                continue
+            for joiner in sorted(members):
+                if joiner not in self._caught_up_joiners:
+                    self.start_session(joiner, sync_gid)  # start or resume (rule I.2/II)
+
+    def _schedule_svs_merge(self, my_svs_id: SubviewId, svs_id: SubviewId) -> None:
+        if svs_id in self._pending_svs_merges:
+            return
+        self._pending_svs_merges.add(svs_id)
+        delay = getattr(self.node.config, "evs_merge_delay", 0.02)
+        self.node.proc.after(delay, self._issue_svs_merge, my_svs_id, svs_id)
+
+    def _issue_svs_merge(self, my_svs_id: SubviewId, svs_id: SubviewId) -> None:
+        eview = self.evs.eview
+        if eview is None or svs_id not in eview.subview_sets():
+            return
+        if not self._is_coordinating(eview):
+            return
+        self.svs_merges_issued += 1
+        self.evs.subview_set_merge((my_svs_id, svs_id))
+
+    # ------------------------------------------------------------------
+    # Catch-up completion -> CatchUpComplete -> SubviewMerge
+    # ------------------------------------------------------------------
+    def on_demoted(self) -> None:
+        super().on_demoted()
+        self._catch_up_sent = False
+        self._creation_source = False
+        self._caught_up_joiners.clear()
+
+    def on_new_joiner_session(self) -> None:
+        # The catch-up signal is per-session: a replacement session (new
+        # peer, or a post-creation retry) needs its own CatchUpComplete.
+        self._catch_up_sent = False
+
+    def _on_caught_up(self) -> None:
+        session = self.joiner_session
+        if session is not None and session.complete and not self._catch_up_sent:
+            self._catch_up_sent = True
+            self._send_catch_up(session.session_id, session.peer)
+        self.maybe_activate()
+
+    def _send_catch_up(self, session_id: str, peer: str) -> None:
+        """Send (and keep re-sending) CatchUpComplete until the merge
+        arrives — the signal may race a peer failure and be lost."""
+        session = self.joiner_session
+        if (
+            session is None
+            or session.session_id != session_id
+            or not self._catch_up_sent
+            or self.activation_authorized
+            or not self.node.alive
+        ):
+            return
+        self.node.send_transfer(
+            peer, CatchUpComplete(session_id=session_id, joiner=self.node.site_id)
+        )
+        self.node.proc.after(0.25, self._send_catch_up, session_id, peer)
+
+    def _peer_session_done(self, session: PeerTransferSession) -> None:
+        """A joiner caught up: record it and reconcile (possibly issuing
+        the SubviewMerge that ends its recovery)."""
+        super()._peer_session_done(session)
+        self._caught_up_joiners.add(session.joiner)
+        eview = self.evs.eview
+        if eview is not None:
+            self._sv_merges_requested.clear()
+            self._reconcile(eview, sync_gid=self.node.last_processed_gid)
+
+    # ------------------------------------------------------------------
+    def maybe_activate(self) -> None:
+        # Under EVS the structural signal can arrive without a transfer
+        # session (e.g. nothing needed transferring after creation).
+        session = self.joiner_session
+        transfer_done = session is not None and session.complete
+        if (
+            self.activation_authorized
+            and (transfer_done or self._creation_source)
+            and not self.replaying
+            and not self.enqueued
+        ):
+            self.joiner_session = None
+            self.enqueue_mode = False
+            self._creation_source = False
+            self._catch_up_sent = False
+            self.node._become_active()
+            self.on_activated()
+
+    # ------------------------------------------------------------------
+    # Creation protocol under EVS (total failure / bootstrap)
+    # ------------------------------------------------------------------
+    def on_creation_source(self, gseq: int) -> None:
+        """Elected source: merge every subview-set, transfer to everyone,
+        then SubviewMerges form the primary subview and the whole system
+        resumes in lockstep."""
+        self._creation_source = True
+        eview = self.evs.eview
+        assert eview is not None
+        self.svs_merges_issued += 1
+        self.evs.subview_set_merge(tuple(sorted(eview.subview_sets(), key=str)))
+
+    def on_activated(self) -> None:
+        pass

@@ -1,0 +1,563 @@
+"""Reconfiguration management: shared machinery plus the plain-VS manager.
+
+:class:`BaseReconfigManager` owns everything both flavours share: the
+peer-side session table, the joiner-side enqueue/replay machinery (the
+synchronization-point rule of section 4.2), lazy-transfer resume state,
+and the creation protocol after total failures (section 3).
+
+:class:`VsReconfigManager` adds what *plain virtual synchrony* needs on
+top (section 5 / Figure 1): because a member of a primary view is not
+necessarily up-to-date, reconfiguration completion must be announced
+explicitly (``UpToDateAnnouncement``), peers are (re-)elected from the
+up-to-date set at every view change, and a primary view with no
+up-to-date member must be detected and resolved via the creation
+protocol.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+
+from repro.gcs.view import View
+from repro.replication.messages import CreationReport, TransactionMessage, UpToDateAnnouncement
+from repro.reconfig.strategies.base import TransferStrategy
+from repro.reconfig.transfer import (
+    CatchUpComplete,
+    JoinerTransferSession,
+    LastRoundReady,
+    LastRoundStart,
+    PartitionComplete,
+    PeerTransferSession,
+    ReconcileAck,
+    ReconcileNotice,
+    TransferAccept,
+    TransferBatch,
+    TransferBatchAck,
+    TransferComplete,
+    TransferOffer,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.db.recovery import RecoveryResult
+    from repro.replication.node import ReplicatedDatabaseNode
+
+
+def elect_peer(candidates: List[str], joiner: str, joiners: List[str]) -> Optional[str]:
+    """Deterministic peer election "based on the compositions of the
+    views" (section 4.2): joiners are spread round-robin over the
+    up-to-date members, so concurrent transfers share the load."""
+    if not candidates:
+        return None
+    candidates = sorted(candidates)
+    joiners = sorted(joiners)
+    return candidates[joiners.index(joiner) % len(candidates)]
+
+
+class BaseReconfigManager:
+    """State and behaviour shared by the VS and EVS managers."""
+
+    def __init__(self, node: "ReplicatedDatabaseNode", strategy: TransferStrategy) -> None:
+        self.node = node
+        self.strategy = strategy
+        self.sessions_out: Dict[str, PeerTransferSession] = {}
+        self.joiner_session: Optional[JoinerTransferSession] = None
+        self.enqueue_mode = False
+        self.enqueued: List[Tuple[int, TransactionMessage]] = []
+        self.last_seen_gid = -1
+        self.replaying = False
+        #: Joiner generation: bumped whenever the enqueued stream is
+        #: invalidated (restart, stall, crash).  In-flight scheduled
+        #: replay steps carry their generation and drop themselves when
+        #: it no longer matches — otherwise a step scheduled before a
+        #: restart could apply an old-stream message to the new state.
+        self._join_generation = 0
+        self.caught_up = False
+        self.activation_authorized = False
+        self._announced = False
+        self._resume_through = -1
+        self._done_partitions: Dict[str, int] = {}
+        self._creation_reports: Dict[str, CreationReport] = {}
+        self._creation_started = False
+
+        self.transfers_started = 0
+        self.transfers_completed = 0
+        self.announcements_sent = 0
+        self.replayed_transactions = 0
+        self.objects_sent_total = 0
+        self.bytes_sent_total = 0
+        self.objects_received_total = 0
+        self.bytes_received_total = 0
+
+    # ------------------------------------------------------------------
+    # Node lifecycle hooks
+    # ------------------------------------------------------------------
+    def on_crash(self) -> None:
+        for session in list(self.sessions_out.values()):
+            session.cancel()
+        self.sessions_out.clear()
+        self._reset_joiner_state()
+
+    def on_recover(self, recovery: "RecoveryResult") -> None:
+        self._reset_joiner_state()
+        self._resume_through = self.node.db.cover_gid()
+        self._done_partitions = {}
+
+    def on_demoted(self) -> None:
+        """The site's view went stale (section 2.1's thin layer): stop
+        all reconfiguration activity, like leaving the primary component."""
+        self.cancel_all_sessions()
+        if self.joiner_session is not None:
+            self.joiner_session.cancel()
+            self.joiner_session = None
+        self._abort_replay()
+        self.caught_up = False
+        self.activation_authorized = False
+        self._announced = False
+        self._creation_started = False
+        self._creation_reports = {}
+
+    def note_partition_complete(self, partition: str, boundary_gid: int) -> None:
+        """Record lazy round-1 progress so a replacement peer can skip
+        already-shipped partitions (section 4.7)."""
+        current = self._done_partitions.get(partition, -(2**60))
+        self._done_partitions[partition] = max(current, boundary_gid)
+
+    def restart_join(self) -> None:
+        """The GCS skipped sequence numbers while we were recovering (we
+        missed an intermediate view): the enqueued message stream has a
+        hole, so the current transfer cannot be completed consistently.
+        Drop it and wait for a fresh offer anchored at the new view —
+        already-installed transfer data stays (it is only ever a valid
+        prefix of the lineage's state)."""
+        if self.joiner_session is not None:
+            self.joiner_session.cancel()
+            self.joiner_session = None
+        self.enqueued.clear()
+        self._abort_replay()
+        self.caught_up = False
+        self.activation_authorized = False
+        self._announced = False
+
+    def _reset_joiner_state(self) -> None:
+        if self.joiner_session is not None:
+            self.joiner_session.cancel()
+        self.joiner_session = None
+        self.enqueue_mode = False
+        self.enqueued = []
+        self.last_seen_gid = -1
+        self._abort_replay()
+        self.caught_up = False
+        self.activation_authorized = False
+        self._announced = False
+        self._creation_reports = {}
+        self._creation_started = False
+
+    # ------------------------------------------------------------------
+    # Joiner side: message enqueueing and replay (section 4.2)
+    # ------------------------------------------------------------------
+    def on_recovering_message(self, gid: int, message: TransactionMessage) -> None:
+        self.last_seen_gid = gid
+        if not self.enqueue_mode:
+            return
+        self.enqueued.append((gid, message))
+        if len(self.enqueued) > self.node.enqueue_high_watermark:
+            self.node.enqueue_high_watermark = len(self.enqueued)
+        if self.caught_up and not self.replaying:
+            # Already drained once but not active yet: keep up as we go.
+            self._start_replay()
+
+    def _on_transfer_complete(self, msg: TransferComplete) -> None:
+        session = self.joiner_session
+        if session is None or session.session_id != msg.session_id:
+            return
+        session.on_complete(msg)
+        db = self.node.db
+        # Persist the transferred state before moving the baseline, so a
+        # crash right after recovers to a consistent (state, cover) pair.
+        db.checkpoint()
+        db.set_baseline(msg.baseline_gid)
+        self._resume_through = max(self._resume_through, msg.baseline_gid)
+        self.transfers_completed += 1
+        self._start_replay()
+
+    def _abort_replay(self) -> None:
+        """Invalidate the enqueued stream and any in-flight replay step."""
+        self._join_generation += 1
+        self.replaying = False
+
+    def _start_replay(self) -> None:
+        if self.replaying:
+            return
+        self.replaying = True
+        self._replay_next()
+
+    def _replay_next(self) -> None:
+        if not self.node.alive:
+            return
+        baseline = self.node.db.baseline_gid
+        while self.enqueued and self.enqueued[0][0] <= baseline:
+            self.enqueued.pop(0)  # already contained in the transferred state
+        if not self.enqueued:
+            self.replaying = False
+            self.caught_up = True
+            self._on_caught_up()
+            return
+        gid, message = self.enqueued.pop(0)
+        delay = max(len(message.write_set), 1) * self.node.config.replay_op_time
+        self.node.proc.after(delay, self._apply_replayed, gid, message,
+                             self._join_generation)
+
+    def _apply_replayed(self, gid: int, message: TransactionMessage,
+                        generation: Optional[int] = None) -> None:
+        if generation is not None and generation != self._join_generation:
+            return  # stale step from before a join restart
+        db = self.node.db
+        db.log_begin(gid)
+        self.node.last_processed_gid = gid
+        if not db.version_check(message.reads()):
+            db.abort(gid)
+            self.node._emit("abort", gid, message)
+        else:
+            writes = message.writes()
+            db.tag_writes(gid, writes.keys())
+            for obj, value in sorted(writes.items()):
+                db.apply_write(gid, obj, value)
+            db.commit(gid)
+            self.node._emit("commit", gid, message)
+        self.replayed_transactions += 1
+        self._replay_next()
+
+    def _on_caught_up(self) -> None:
+        """Subclasses: announce (VS) or signal the peer (EVS), then
+        :meth:`maybe_activate`."""
+        raise NotImplementedError
+
+    def maybe_activate(self) -> None:
+        session = self.joiner_session
+        transfer_done = session is not None and session.complete
+        if (
+            self.activation_authorized
+            and transfer_done
+            and self.caught_up
+            and not self.replaying
+            and not self.enqueued
+        ):
+            self.joiner_session = None
+            self.enqueue_mode = False
+            self.node._become_active()
+            self.on_activated()
+
+    def on_activated(self) -> None:
+        """Hook: the node just became an up-to-date processing member."""
+
+    def on_new_joiner_session(self) -> None:
+        """Hook: a (new) transfer session towards this joiner was accepted."""
+
+    # ------------------------------------------------------------------
+    # Peer side helpers
+    # ------------------------------------------------------------------
+    def start_session(self, joiner: str, sync_gid: int) -> None:
+        existing = self.sessions_out.get(joiner)
+        if existing is not None and existing.active:
+            return
+        self.transfers_started += 1
+        self.sessions_out[joiner] = PeerTransferSession(
+            self.node, joiner, self.strategy, sync_gid, on_done=self._peer_session_done
+        )
+
+    def cancel_session(self, joiner: str) -> None:
+        session = self.sessions_out.pop(joiner, None)
+        if session is not None:
+            session.cancel()
+
+    def cancel_all_sessions(self) -> None:
+        for joiner in list(self.sessions_out):
+            self.cancel_session(joiner)
+
+    def _peer_session_done(self, session: PeerTransferSession) -> None:
+        """The joiner reported catch-up completion for this session."""
+        self.sessions_out.pop(session.joiner, None)
+
+    # ------------------------------------------------------------------
+    # Transfer channel dispatch
+    # ------------------------------------------------------------------
+    def on_transfer_message(self, src: str, payload: Any) -> None:
+        from repro.replication.node import SiteStatus
+
+        if isinstance(payload, TransferOffer):
+            if self.node.status not in (SiteStatus.RECOVERING, SiteStatus.SUSPENDED):
+                return
+            current = self.joiner_session
+            if current is not None and current.session_id == payload.session_id:
+                current.accept()  # duplicate offer (retry): re-accept
+                return
+            if current is not None:
+                current.cancel()
+            # A replacement session's batches will rewrite the store to a
+            # newer synchronization point: any replay of the old stream
+            # must stop *now*, or it would check old messages against the
+            # newer state.  (The enqueued messages stay: those above the
+            # new baseline are still needed, the rest get skipped.)
+            if self.replaying or self.caught_up:
+                self._abort_replay()
+                self.caught_up = False
+            resume = max(self.node.db.cover_gid(), self._resume_through)
+            self.joiner_session = JoinerTransferSession(
+                self.node, payload, resume, done_partitions=self._done_partitions
+            )
+            if not self.strategy.lazy and not self.enqueue_mode:
+                self.enqueue_mode = True
+            self.on_new_joiner_session()
+            self.joiner_session.accept()
+            return
+        if isinstance(payload, TransferAccept):
+            session = self._session_by_id(payload.session_id)
+            if session is not None:
+                session.on_accept(payload)
+            return
+        if isinstance(payload, PartitionComplete):
+            if self.joiner_session is not None and (
+                self.joiner_session.session_id == payload.session_id
+            ):
+                self.joiner_session.on_partition_complete(payload)
+            return
+        if isinstance(payload, ReconcileNotice):
+            if self.joiner_session is not None and (
+                self.joiner_session.session_id == payload.session_id
+            ):
+                self.joiner_session.on_reconcile_notice(payload)
+            return
+        if isinstance(payload, ReconcileAck):
+            session = self._session_by_id(payload.session_id)
+            if session is not None:
+                session.on_reconcile_ack(payload)
+            return
+        if isinstance(payload, TransferBatch):
+            if self.joiner_session is not None and (
+                self.joiner_session.session_id == payload.session_id
+            ):
+                self.joiner_session.on_batch(payload)
+            return
+        if isinstance(payload, TransferBatchAck):
+            session = self._session_by_id(payload.session_id)
+            if session is not None:
+                session.on_batch_ack(payload)
+            return
+        if isinstance(payload, LastRoundStart):
+            if self.joiner_session is not None and (
+                self.joiner_session.session_id == payload.session_id
+            ):
+                self.enqueue_mode = True
+                self.node.send_transfer(
+                    self.joiner_session.peer,
+                    LastRoundReady(
+                        session_id=payload.session_id,
+                        last_discarded_gid=self.last_seen_gid,
+                    ),
+                )
+            return
+        if isinstance(payload, LastRoundReady):
+            session = self._session_by_id(payload.session_id)
+            if session is not None:
+                session.on_last_round_ready(payload)
+            return
+        if isinstance(payload, TransferComplete):
+            self._on_transfer_complete(payload)
+            return
+        if isinstance(payload, CatchUpComplete):
+            session = self._session_by_id(payload.session_id)
+            if session is not None:
+                session.on_catch_up_complete()
+            return
+
+    def _session_by_id(self, session_id: str) -> Optional[PeerTransferSession]:
+        for session in self.sessions_out.values():
+            if session.session_id == session_id and session.active:
+                return session
+        return None
+
+    # ------------------------------------------------------------------
+    # Creation protocol (section 3)
+    # ------------------------------------------------------------------
+    def check_creation(self, view: View) -> None:
+        """In a primary view with no up-to-date member, once *all* sites
+        are present, compare all logs (the paper's argument for why a
+        majority is not enough)."""
+        if self._creation_started:
+            return
+        if set(view.members) != set(self.node.member.universe):
+            return
+        self._creation_started = True
+        db = self.node.db
+        cover = db.cover_gid()
+        report = CreationReport(
+            site=self.node.site_id,
+            cover_gid=cover,
+            last_delivered_gid=self.node.last_processed_gid,
+            committed_above_cover=db.committed_writes_above(cover),
+        )
+        self.node._multicast(report)
+
+    def on_creation_report(self, report: CreationReport, gseq: int) -> None:
+        self._creation_reports[report.site] = report
+        if set(self._creation_reports) != set(self.node.member.universe):
+            return
+        reports = self._creation_reports
+        source = min(reports.values(), key=lambda r: (-r.cover_gid, r.site)).site
+        if source != self.node.site_id:
+            self._creation_reports = {}
+            self._creation_started = False
+            return
+        # I am the source: apply every committed transaction above my
+        # cover found in any log, in gid order.
+        db = self.node.db
+        my_cover = db.cover_gid()
+        merged: Dict[int, Dict[str, Any]] = {}
+        for rep in reports.values():
+            for gid, writes in rep.committed_above_cover:
+                if gid > my_cover:
+                    merged.setdefault(gid, {}).update(dict(writes))
+        applied_max = my_cover
+        for gid in sorted(merged):
+            for obj, value in sorted(merged[gid].items()):
+                db.store.write(obj, value, gid)
+            applied_max = gid
+        db.checkpoint()
+        db.set_baseline(max(applied_max, my_cover))
+        self._creation_reports = {}
+        self.on_creation_source(gseq)
+
+    def on_creation_source(self, gseq: int) -> None:
+        """Hook: this site now holds the most current state system-wide."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Hooks with default no-op implementations
+    # ------------------------------------------------------------------
+    def on_transaction_terminated(self, gid: int) -> None:
+        """Called by the node whenever a delivered transaction commits."""
+
+    def on_up_to_date(self, site: str) -> None:
+        """An UpToDateAnnouncement for ``site`` was delivered."""
+
+    def on_view_change(self, view: View, states: Dict[str, Dict[str, Any]]) -> None:
+        """VS mode entry point."""
+
+    def on_eview_change(self, eview, reason: str, states, gseq=None) -> None:
+        """EVS mode entry point."""
+
+
+class VsReconfigManager(BaseReconfigManager):
+    """Cascading reconfiguration under plain virtual synchrony.
+
+    Implements the behaviour the paper's section 5 shows to be necessary
+    (Figure 1): explicit status announcements, deterministic peer
+    re-election when a peer leaves mid-transfer, transfer restart/resume,
+    and detection of primary views without any up-to-date member.
+    """
+
+    def on_view_change(self, view: View, states: Dict[str, Dict[str, Any]]) -> None:
+        from repro.replication.node import SiteStatus
+
+        node = self.node
+        status = node.status
+        if status in (SiteStatus.STALLED, SiteStatus.DOWN):
+            # Rule: leaving the primary component stops everything.
+            self.cancel_all_sessions()
+            if self.joiner_session is not None:
+                self.joiner_session.cancel()
+                self.joiner_session = None
+            self._abort_replay()
+            self.caught_up = False
+            self._announced = False
+            self.activation_authorized = False
+            self._creation_started = False
+            self._creation_reports = {}
+            return
+
+        if status is SiteStatus.ACTIVE:
+            self._manage_peers(view)
+        elif status is SiteStatus.RECOVERING:
+            self.activation_authorized = False  # re-earned via announcement
+            self._announced = False
+            if node.member.last_install_missed > 0:
+                self.restart_join()
+            if not self.strategy.lazy:
+                self.enqueue_mode = True
+            if self.joiner_session is not None and self.joiner_session.peer not in view:
+                # Peer failed mid-transfer: keep enqueued messages and
+                # resume state; a newly elected peer will contact us.
+                self.joiner_session.cancel()
+                self.joiner_session = None
+        elif status is SiteStatus.SUSPENDED:
+            self.check_creation(view)
+
+    def _manage_peers(self, view: View) -> None:
+        node = self.node
+        utd = sorted(s for s in view.members if node.site_utd.get(s, False))
+        joiners = sorted(s for s in view.members if not node.site_utd.get(s, False))
+        for joiner in list(self.sessions_out):
+            if joiner not in view.members or elect_peer(utd, joiner, joiners) != node.site_id:
+                self.cancel_session(joiner)  # rule: joiner left, or re-elected away
+            elif joiner in node.member.stale_members:
+                # The joiner missed part of the lineage during this
+                # transfer (it restarted its join): re-anchor the session
+                # at the new view's synchronization point.
+                self.cancel_session(joiner)
+        sync_gid = node.member.to.base_gseq - 1
+        for joiner in joiners:
+            if elect_peer(utd, joiner, joiners) == node.site_id:
+                self.start_session(joiner, sync_gid)
+
+    def on_up_to_date(self, site: str) -> None:
+        from repro.replication.node import SiteStatus
+
+        node = self.node
+        if site == node.site_id:
+            if node.status is SiteStatus.ACTIVE:
+                # Already active (creation source): the delivery of our
+                # own announcement is the ordered point from which we can
+                # serve the still-recovering members.
+                self.on_activated()
+            else:
+                self.activation_authorized = True
+                self.maybe_activate()
+            return
+        # A joiner I was serving announced completion.
+        if site in self.sessions_out:
+            self.cancel_session(site)
+        if node.status is SiteStatus.RECOVERING and not self.strategy.lazy:
+            self.enqueue_mode = True
+
+    def on_activated(self) -> None:
+        """On becoming active *as the only up-to-date member* (creation
+        source), serve everyone else; otherwise the already-active
+        members keep their view-change-time peer assignments."""
+        node = self.node
+        view = node.member.view
+        utd = sorted(s for s in view.members if node.site_utd.get(s, False))
+        if utd != [node.site_id]:
+            return
+        joiners = sorted(s for s in view.members if not node.site_utd.get(s, False))
+        sync_gid = node.last_processed_gid
+        for joiner in joiners:
+            self.start_session(joiner, sync_gid)
+
+    def _on_caught_up(self) -> None:
+        if not self._announced:
+            self._announced = True
+            self.announcements_sent += 1
+            self.node._multicast(
+                UpToDateAnnouncement(site=self.node.site_id, cover_gid=self.node.db.cover_gid())
+            )
+        self.maybe_activate()
+
+    def on_creation_source(self, gseq: int) -> None:
+        # The source is up-to-date by construction; announce so everyone
+        # else switches to RECOVERING and awaits a transfer from us.
+        self.node._become_active()
+        self._announced = True
+        self.announcements_sent += 1
+        self.node._multicast(
+            UpToDateAnnouncement(site=self.node.site_id, cover_gid=self.node.db.cover_gid())
+        )

@@ -1,0 +1,107 @@
+"""Transferring the entire database (section 4.3).
+
+"Upon delivery of the view change, create transaction T_dt and request
+in an atomic step read locks for all objects in the database.  [...]
+Whenever a lock on object X is granted, read X and transfer it to the
+joiner [...] As soon as the acknowledgment is received, release the
+lock."
+
+Mandatory for new sites; attractive when the database is small or most
+of it changed while the joiner was down.  Reads continue unhindered on
+the peer; writes are delayed exactly until "their" object's batch has
+been acknowledged.
+"""
+
+from __future__ import annotations
+
+from repro.db.locks import LockMode
+from repro.db.partitions import partition_of, partition_resource
+from repro.reconfig.strategies.base import TransferStrategy
+
+
+class FullTransferStrategy(TransferStrategy):
+    """Entire-database transfer.
+
+    ``granularity="partition"`` uses coarse locks "e.g., on relations"
+    (section 4.3): one read lock per data partition instead of one per
+    object.  Fewer lock-manager operations, but each lock covers more
+    data and is held until the whole session completes — the classic
+    granularity trade-off.  Requires ``NodeConfig.partition_count > 0``.
+    """
+
+    name = "full"
+
+    def __init__(self, granularity: str = "object") -> None:
+        if granularity not in ("object", "partition"):
+            raise ValueError(f"granularity must be 'object' or 'partition', got {granularity!r}")
+        self.granularity = granularity
+
+    def on_session_created(self, session) -> None:
+        state = {"remaining": 0, "all_queued": False}
+        session.strategy_state = state
+        if self.granularity == "partition" and session.node.config.partition_count > 0:
+            self._lock_by_partition(session)
+            return
+        objects = list(session.db.store.objects())
+        state["remaining"] = len(objects)
+        if not objects:
+            state["all_queued"] = True
+            return
+        for obj in objects:
+            session.request_read_lock(obj, self._make_grant_handler(session, obj))
+
+    def _lock_by_partition(self, session) -> None:
+        state = session.strategy_state
+        partition_count = session.node.config.partition_count
+        by_partition = {}
+        for obj in session.db.store.objects():
+            by_partition.setdefault(partition_of(obj, partition_count), []).append(obj)
+        state["remaining"] = len(by_partition)
+        if not by_partition:
+            state["all_queued"] = True
+            return
+        for partition, objects in sorted(by_partition.items()):
+            session.db.locks.request(
+                session.owner,
+                partition_resource(partition),
+                LockMode.SHARED,
+                self._make_partition_grant_handler(session, objects),
+            )
+
+    def _make_partition_grant_handler(self, session, objects):
+        def on_grant(_request) -> None:
+            if not session.active:
+                return
+            # The partition lock is held until the session completes
+            # (released by release_all_locks), covering all its objects.
+            for obj in objects:
+                value, version = session.db.store.read(obj)
+                session.queue_item(obj, value, version, release_after_ack=False)
+            session.strategy_state["remaining"] -= 1
+            if session.strategy_state["remaining"] == 0:
+                session.strategy_state["all_queued"] = True
+                self._maybe_finish(session)
+
+        return on_grant
+
+    def begin(self, session, accept) -> None:
+        # Nothing cover-dependent: everything goes.  Items queued before
+        # the accept arrived start flowing now; finish once all are in.
+        self._maybe_finish(session)
+
+    def _make_grant_handler(self, session, obj):
+        def on_grant(_request) -> None:
+            if not session.active:
+                return
+            value, version = session.db.store.read(obj)
+            session.queue_item(obj, value, version, release_after_ack=True)
+            session.strategy_state["remaining"] -= 1
+            if session.strategy_state["remaining"] == 0:
+                session.strategy_state["all_queued"] = True
+                self._maybe_finish(session)
+
+        return on_grant
+
+    def _maybe_finish(self, session) -> None:
+        if session.accepted and session.strategy_state["all_queued"]:
+            session.finish(session.sync_gid)

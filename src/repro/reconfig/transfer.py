@@ -1,0 +1,451 @@
+"""The peer <-> joiner data transfer channel and sessions.
+
+The transfer runs point-to-point outside the group communication system
+(section 4.2: "the data transfer need not occur through the group
+communication platform but could, e.g., be performed via TCP"), on a
+dedicated network endpoint per site.
+
+A :class:`PeerTransferSession` lives at the peer; the concrete
+:class:`repro.reconfig.strategies.TransferStrategy` decides *what* to
+send and under which locks, while the session provides the shared
+machinery: offer/accept handshake, batching with a single in-flight
+batch, per-object marshalling cost, lock release on acknowledgement and
+completion signalling.
+
+A :class:`JoinerTransferSession` lives at the joining site; it installs
+incoming batches, tracks lazy-transfer resume points for peer fail-over,
+and replays the enqueued transaction messages once the transfer
+completes (the synchronization-point rule of section 4.2/4.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.db.locks import LockMode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.replication.node import ReplicatedDatabaseNode
+
+
+# ----------------------------------------------------------------------
+# Wire messages of the transfer channel
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TransferOffer:
+    session_id: str
+    peer: str
+    strategy: str
+    sync_gid: int  # transfer covers transactions with gid <= sync_gid (eager)
+
+
+@dataclass(frozen=True)
+class TransferAccept:
+    session_id: str
+    cover_gid: int
+    resume_through: int  # lazy fail-over: data already held up to this gid
+    needs_full: bool  # new site without any database copy (section 4.3)
+    #: Locally committed gids above the cover: under plain reliable
+    #: delivery these may be phantoms (section 2.3) and must be checked
+    #: against the peer's history before any data is installed.
+    committed_above_cover: Tuple[int, ...] = ()
+    #: Per-partition resume points ((partition, complete-through gid)):
+    #: partitions a previous peer already shipped in lazy round 1.
+    done_partitions: Tuple[Tuple[str, int], ...] = ()
+
+
+@dataclass(frozen=True)
+class PartitionComplete:
+    """Lazy round 1 per data partition (section 4.7): the named partition
+    is now complete at the joiner through ``boundary_gid``.  On peer
+    fail-over the replacement "does not need to restart but simply
+    continue the transfer for those partitions the joiner has not yet
+    received"."""
+
+    session_id: str
+    partition: str
+    boundary_gid: int
+
+
+@dataclass(frozen=True)
+class ReconcileNotice:
+    """Peer -> joiner: these locally committed transactions never
+    committed in the primary lineage; compensate them before installing
+    the transferred state (section 2.3's reconciliation, ref [13])."""
+
+    session_id: str
+    phantom_gids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ReconcileAck:
+    """Joiner -> peer: compensation done, streaming may start."""
+
+    session_id: str
+    undone_writes: int
+
+
+@dataclass(frozen=True)
+class TransferBatch:
+    session_id: str
+    round_no: int
+    items: Tuple[Tuple[str, Any, int], ...]  # (object, value, version)
+    payload_bytes: int
+    round_boundary: Optional[int] = None  # lazy: state complete through this gid
+
+
+@dataclass(frozen=True)
+class TransferBatchAck:
+    session_id: str
+    count: int
+
+
+@dataclass(frozen=True)
+class LastRoundStart:
+    """Lazy transfer: the peer announces the final round; the joiner must
+    start enqueueing and report the last gid it saw-and-discarded."""
+
+    session_id: str
+
+
+@dataclass(frozen=True)
+class LastRoundReady:
+    session_id: str
+    last_discarded_gid: int
+
+
+@dataclass(frozen=True)
+class TransferComplete:
+    session_id: str
+    baseline_gid: int  # the joiner's state now covers all gids <= baseline
+
+
+@dataclass(frozen=True)
+class CatchUpComplete:
+    """Joiner -> peer: enqueued transactions replayed; under EVS the peer
+    answers with the SubviewMerge that ends reconfiguration."""
+
+    session_id: str
+    joiner: str
+
+
+# ----------------------------------------------------------------------
+# Peer side
+# ----------------------------------------------------------------------
+class PeerTransferSession:
+    """Peer-side transfer engine, driven by a strategy."""
+
+    # Offers retry quickly: the first one can race ahead of the view
+    # change installation at the joiner and be dropped.
+    OFFER_RETRY = 0.05
+
+    def __init__(
+        self,
+        node: "ReplicatedDatabaseNode",
+        joiner: str,
+        strategy,
+        sync_gid: int,
+        on_done: Optional[Callable[["PeerTransferSession"], None]] = None,
+    ) -> None:
+        self.node = node
+        self.joiner = joiner
+        self.strategy = strategy
+        self.sync_gid = sync_gid
+        self.on_done = on_done
+        self.session_id = f"{node.site_id}->{joiner}@{node.sim.now:.6f}"
+        self.owner = f"xfer:{self.session_id}"
+        self.active = True
+        self.accepted = False
+        self.completed = False
+        self.round_no = 1
+
+        self._outbox: List[Tuple[str, Any, int]] = []
+        self._release_on_ack: List[str] = []
+        self._inflight: Optional[int] = None  # item count of the batch in flight
+        self._inflight_release: List[str] = []
+        self._finished_baseline: Optional[int] = None
+        self._round_boundary: Optional[int] = None
+        self._batch_cb: Optional[Callable[[], None]] = None
+        self._pending_accept: Optional[TransferAccept] = None
+
+        self.objects_sent = 0
+        self.bytes_sent = 0
+        self.started_at = node.sim.now
+        self.finished_at: Optional[float] = None
+
+        # Strategies may grab locks / snapshots synchronously right here,
+        # at the synchronization point (view change or SubviewSetMerge).
+        self.strategy.on_session_created(self)
+        self._send_offer()
+
+    # ------------------------------------------------------------------
+    # Handshake
+    # ------------------------------------------------------------------
+    def _send_offer(self) -> None:
+        if not self.active or self.accepted:
+            return
+        self.node.send_transfer(
+            self.joiner,
+            TransferOffer(
+                session_id=self.session_id,
+                peer=self.node.site_id,
+                strategy=self.strategy.name,
+                sync_gid=self.sync_gid,
+            ),
+        )
+        self.node.proc.after(self.OFFER_RETRY, self._send_offer)
+
+    def on_accept(self, accept: TransferAccept) -> None:
+        if not self.active or self.accepted:
+            return
+        self.accepted = True
+        # Reconciliation gate (section 2.3): before shipping any state,
+        # tell the joiner which of its above-cover commits never made it
+        # into the primary lineage, and wait until it compensated them —
+        # otherwise the phantom versions could outrank transferred ones.
+        phantoms = self.db.verify_committed(accept.committed_above_cover)
+        if phantoms:
+            self._pending_accept = accept
+            self.node.send_transfer(
+                self.joiner,
+                ReconcileNotice(session_id=self.session_id, phantom_gids=phantoms),
+            )
+            return
+        self.strategy.begin(self, accept)
+        self._maybe_send_batch()
+
+    def on_reconcile_ack(self, ack: "ReconcileAck") -> None:
+        accept = getattr(self, "_pending_accept", None)
+        if not self.active or accept is None:
+            return
+        self._pending_accept = None
+        self.strategy.begin(self, accept)
+        self._maybe_send_batch()
+
+    # ------------------------------------------------------------------
+    # Strategy-facing helpers
+    # ------------------------------------------------------------------
+    @property
+    def db(self):
+        return self.node.db
+
+    def request_read_lock(self, obj: str, on_grant) -> None:
+        self.db.locks.request(self.owner, obj, LockMode.SHARED, on_grant)
+
+    def release_lock(self, obj: str) -> None:
+        self.db.locks.release(self.owner, obj)
+
+    def release_all_locks(self) -> None:
+        self.db.locks.release(self.owner)
+
+    def queue_item(self, obj: str, value: Any, version: int, release_after_ack: bool = False) -> None:
+        """Queue one object for transfer; optionally keep its lock until
+        the batch carrying it is acknowledged (sections 4.3/4.4)."""
+        if not self.active:
+            return
+        self._outbox.append((obj, value, version))
+        if release_after_ack:
+            self._release_on_ack.append(obj)
+        self._maybe_send_batch()
+
+    def announce_partition_complete(self, partition: str, boundary_gid: int) -> None:
+        """Lazy round 1: tell the joiner this partition is complete."""
+        self.node.send_transfer(
+            self.joiner,
+            PartitionComplete(
+                session_id=self.session_id, partition=partition, boundary_gid=boundary_gid
+            ),
+        )
+
+    def set_round_boundary(self, gid: int) -> None:
+        """Lazy transfer: the current round brings the joiner's state up
+        to ``gid``; piggybacked on the round's last batch for fail-over."""
+        self._round_boundary = gid
+
+    def finish(self, baseline_gid: int) -> None:
+        """Strategy is done queueing; complete once the outbox drains."""
+        self._finished_baseline = baseline_gid
+        self._maybe_send_batch()
+
+    def call_on_outbox_drained(self, callback: Callable[[], None]) -> None:
+        """Lazy transfer: run ``callback`` when the current round's items
+        have all been sent and acknowledged."""
+        self._batch_cb = callback
+        self._maybe_send_batch()
+
+    # ------------------------------------------------------------------
+    # Batching engine (single in-flight batch, per-object marshalling cost)
+    # ------------------------------------------------------------------
+    def _maybe_send_batch(self) -> None:
+        if not self.active or not self.accepted or self._inflight is not None:
+            return
+        if self._outbox:
+            size = min(len(self._outbox), self.node.config.transfer_batch_size)
+            items = tuple(self._outbox[:size])
+            del self._outbox[:size]
+            self._inflight = size
+            self._inflight_release = self._release_on_ack[:size]
+            del self._release_on_ack[:size]
+            delay = size * self.node.config.transfer_obj_time
+            self.node.proc.after(delay, self._transmit_batch, items)
+            return
+        # Outbox empty and nothing in flight.
+        if self._batch_cb is not None:
+            callback, self._batch_cb = self._batch_cb, None
+            callback()
+            return
+        if self._finished_baseline is not None and not self.completed:
+            self._complete()
+
+    def _transmit_batch(self, items: Tuple[Tuple[str, Any, int], ...]) -> None:
+        if not self.active:
+            return
+        payload_bytes = len(items) * self.node.config.object_size_bytes
+        boundary = None
+        if self._round_boundary is not None and not self._outbox:
+            boundary = self._round_boundary
+        self.node.send_transfer(
+            self.joiner,
+            TransferBatch(
+                session_id=self.session_id,
+                round_no=self.round_no,
+                items=items,
+                payload_bytes=payload_bytes,
+                round_boundary=boundary,
+            ),
+        )
+        self.objects_sent += len(items)
+        self.bytes_sent += payload_bytes
+        manager = self.node.reconfig
+        if manager is not None:
+            manager.objects_sent_total += len(items)
+            manager.bytes_sent_total += payload_bytes
+
+    def on_batch_ack(self, ack: TransferBatchAck) -> None:
+        if not self.active or self._inflight is None:
+            return
+        self._inflight = None
+        for obj in self._inflight_release:
+            self.release_lock(obj)
+        self._inflight_release = []
+        self._maybe_send_batch()
+
+    def on_last_round_ready(self, msg: LastRoundReady) -> None:
+        if self.active:
+            self.strategy.on_last_round_ready(self, msg)
+
+    def on_catch_up_complete(self) -> None:
+        if self.on_done is not None:
+            self.on_done(self)
+
+    # ------------------------------------------------------------------
+    def _complete(self) -> None:
+        self.completed = True
+        self.finished_at = self.node.sim.now
+        self.release_all_locks()
+        self.strategy.on_session_closed(self)
+        self.node.send_transfer(
+            self.joiner,
+            TransferComplete(session_id=self.session_id, baseline_gid=self._finished_baseline),
+        )
+
+    def cancel(self) -> None:
+        """Stop the session (joiner left, peer stalled, superseded)."""
+        if not self.active:
+            return
+        self.active = False
+        self.release_all_locks()
+        self.strategy.on_session_closed(self)
+
+
+# ----------------------------------------------------------------------
+# Joiner side
+# ----------------------------------------------------------------------
+class JoinerTransferSession:
+    """Joiner-side transfer state: installs batches, tracks resume info."""
+
+    def __init__(self, node: "ReplicatedDatabaseNode", offer: TransferOffer,
+                 resume_through: int,
+                 done_partitions: Optional[Dict[str, int]] = None) -> None:
+        self.node = node
+        self.session_id = offer.session_id
+        self.peer = offer.peer
+        self.strategy_name = offer.strategy
+        self.sync_gid = offer.sync_gid
+        self.resume_through = resume_through
+        self.done_partitions: Dict[str, int] = dict(done_partitions or {})
+        self.active = True
+        self.complete = False
+        self.baseline_gid: Optional[int] = None
+        self.objects_received = 0
+        self.bytes_received = 0
+
+    def accept(self) -> None:
+        needs_full = len(self.node.db.store) == 0
+        cover = self.node.db.cover_gid()
+        # Phantom candidates exist only under plain reliable delivery
+        # (section 2.3): with uniform (safe) delivery a site can never
+        # have committed something the primary lineage lacks.  Suspects
+        # are the commits above the last provably synchronized point
+        # (the baseline) — the cover itself may be poisoned by phantoms.
+        if self.node.member.config.uniform:
+            suspects: Tuple[int, ...] = ()
+        else:
+            suspects = self.node.db.committed_gids_above(self.node.db.baseline_gid)
+        self.node.send_transfer(
+            self.peer,
+            TransferAccept(
+                session_id=self.session_id,
+                cover_gid=cover,
+                resume_through=self.resume_through,
+                needs_full=needs_full,
+                committed_above_cover=suspects,
+                done_partitions=tuple(sorted(self.done_partitions.items())),
+            ),
+        )
+
+    def on_partition_complete(self, msg: PartitionComplete) -> None:
+        if not self.active:
+            return
+        current = self.done_partitions.get(msg.partition, -(2**60))
+        self.done_partitions[msg.partition] = max(current, msg.boundary_gid)
+        manager = self.node.reconfig
+        if manager is not None:
+            manager.note_partition_complete(msg.partition, self.done_partitions[msg.partition])
+
+    def on_reconcile_notice(self, notice: ReconcileNotice) -> None:
+        if not self.active:
+            return
+        undone = self.node.db.reconcile_phantoms(notice.phantom_gids)
+        self.node.send_transfer(
+            self.peer,
+            ReconcileAck(session_id=self.session_id, undone_writes=undone),
+        )
+
+    def on_batch(self, batch: TransferBatch) -> None:
+        if not self.active:
+            return
+        self.node.db.store.apply(batch.items)
+        self.objects_received += len(batch.items)
+        self.bytes_received += batch.payload_bytes
+        manager = self.node.reconfig
+        if manager is not None:
+            manager.objects_received_total += len(batch.items)
+            manager.bytes_received_total += batch.payload_bytes
+        if batch.round_boundary is not None:
+            self.resume_through = max(self.resume_through, batch.round_boundary)
+        self.node.send_transfer(
+            self.peer,
+            TransferBatchAck(session_id=self.session_id, count=len(batch.items)),
+        )
+
+    def on_complete(self, msg: TransferComplete) -> None:
+        if not self.active:
+            return
+        self.complete = True
+        self.baseline_gid = msg.baseline_gid
+        self.resume_through = max(self.resume_through, msg.baseline_gid)
+
+    def cancel(self) -> None:
+        self.active = False

@@ -1,0 +1,37 @@
+"""Replica control based on group communication (section 2.2 of the paper).
+
+The protocol implemented by :class:`repro.replication.node.ReplicatedDatabaseNode`
+is the one the paper describes (originally from Agrawal et al. and the
+Postgres-R line of work):
+
+* Read-One-Write-All: reads run on the local copy under shared locks;
+* one **total-order multicast per transaction** carrying the write set
+  plus the identifiers and versions of the objects read;
+* the delivery order defines the serialization order: the global
+  identifier (gid) of a transaction is the sequence number of its
+  message, version checks abort stale readers, write/write conflicts
+  are ordered by delivery, and write/read conflicts use strict 2PL;
+* failures are masked by uniform delivery plus the primary-view rule
+  (section 2.3): only sites in the primary view (or, under EVS, the
+  primary subview) process transactions; everyone else behaves as if
+  failed.
+"""
+
+from repro.replication.messages import (
+    CreationReport,
+    TransactionMessage,
+    UpToDateAnnouncement,
+)
+from repro.replication.node import NodeConfig, ReplicatedDatabaseNode, SiteStatus
+from repro.replication.transaction import Transaction, TxnState
+
+__all__ = [
+    "CreationReport",
+    "NodeConfig",
+    "ReplicatedDatabaseNode",
+    "SiteStatus",
+    "Transaction",
+    "TransactionMessage",
+    "TxnState",
+    "UpToDateAnnouncement",
+]

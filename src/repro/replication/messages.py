@@ -1,0 +1,73 @@
+"""Replication-level multicast payloads (carried inside GCS messages)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class TransactionMessage:
+    """The single per-transaction message of the replica control protocol.
+
+    Sent with the uniform total-order multicast at the end of the local
+    read phase; carries "all write operations and the identifiers of the
+    objects read along with the respective version numbers".
+    """
+
+    origin: str
+    local_id: str
+    read_set: Tuple[Tuple[str, int], ...]  # (object, version read)
+    write_set: Tuple[Tuple[str, Any], ...]  # (object, new value)
+    #: Conservative protocol only (NodeConfig.protocol="conservative"):
+    #: objects to read *at delivery time* at the origin, under shared
+    #: locks ordered by the total order.  The certification protocol
+    #: (the paper's section 2.2 default) reads locally before sending
+    #: and ships versions in ``read_set`` instead.
+    deferred_reads: Tuple[str, ...] = ()
+
+    def reads(self) -> Dict[str, int]:
+        return dict(self.read_set)
+
+    def writes(self) -> Dict[str, Any]:
+        return dict(self.write_set)
+
+
+@dataclass(frozen=True)
+class UpToDateAnnouncement:
+    """Plain-VS sub-protocol: a joiner announces it finished catching up.
+
+    Under plain virtual synchrony "a member of a primary view is not
+    necessarily an up-to-date member" (section 5), so completion must be
+    announced explicitly; under EVS the SubviewMerge replaces this.
+    The announcement also carries the site's cover gid, which feeds the
+    RecTable garbage collection (section 4.5, step II).
+    """
+
+    site: str
+    cover_gid: int
+
+
+@dataclass(frozen=True)
+class CoverAnnouncement:
+    """Periodic exchange of cover gids for RecTable garbage collection."""
+
+    site: str
+    cover_gid: int
+
+
+@dataclass(frozen=True)
+class CreationReport:
+    """One site's contribution to the creation protocol (section 3).
+
+    ``committed_above_cover`` carries the after-images of transactions
+    this site committed beyond its cover, so the elected source site can
+    complete its state: every transaction at or below the maximum cover
+    is already in the max-cover site's database, and every committed
+    transaction above it appears in at least one report.
+    """
+
+    site: str
+    cover_gid: int
+    last_delivered_gid: int
+    committed_above_cover: Tuple[Tuple[int, Tuple[Tuple[str, Any], ...]], ...]

@@ -1,0 +1,761 @@
+"""A replicated database site: replica control over group communication.
+
+This class implements the paper's protocol (section 2.2) phase by phase:
+
+I.   *Local read phase* — shared locks on the local copies, reads record
+     the object versions.
+II.  *Send phase* — one uniform total-order multicast carrying the write
+     set and the read versions.
+III. *Serialization phase* (atomic, in delivery order) — the gid is the
+     message's global sequence number; the version check aborts stale
+     readers; local-phase transactions holding conflicting read locks
+     are aborted; write locks are requested in delivery order.
+IV.  *Write phase* — writes execute as locks are granted (concurrently
+     when they do not conflict), each costing ``write_op_time``.
+V.   *Commit phase* — locks released, commit logged, RecTable updated.
+
+Failure handling (section 2.3): processing only in the primary view
+(plain VS mode) or primary subview (EVS mode); a site landing in a
+minority view "behaves as if it had failed": it withdraws its pending
+multicasts, rolls back in-flight work (without terminating it — the
+cover must not advance past transactions that may have committed
+elsewhere) and ignores deliveries until reconfiguration brings it back.
+
+Reconfiguration itself is delegated to a manager from
+:mod:`repro.reconfig` (one for plain virtual synchrony, one for EVS).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.db.database import Database
+from repro.db.locks import LockMode
+from repro.db.wal import PersistentStorage
+from repro.gcs.config import GCSConfig
+from repro.gcs.evs import EnrichedGroupMember, EView
+from repro.gcs.member import GroupMember
+from repro.gcs.view import View
+from repro.net.network import Network
+from repro.replication.messages import (
+    CoverAnnouncement,
+    CreationReport,
+    TransactionMessage,
+    UpToDateAnnouncement,
+)
+from repro.replication.transaction import AbortReason, Transaction, TxnState
+from repro.sim.core import Simulator
+from repro.sim.process import Process
+
+
+class SiteStatus(enum.Enum):
+    DOWN = "down"
+    STALLED = "stalled"  # in a non-primary view; behaves as failed
+    RECOVERING = "recovering"  # in the primary view, catching up
+    SUSPENDED = "suspended"  # primary view but no up-to-date member
+    ACTIVE = "active"  # up-to-date member of the primary component
+
+
+@dataclass
+class NodeConfig:
+    """Cost model and periodic-task knobs of one site."""
+
+    read_op_time: float = 0.0002
+    write_op_time: float = 0.0005
+    replay_op_time: float = 0.0004  # applying one enqueued/caught-up write
+    #: Apply delivered transactions strictly one-at-a-time (the way "most
+    #: applications deployed over group communication" work, section 2.2)
+    #: instead of the paper's concurrent write phases.  Used by the
+    #: serial-vs-concurrent ablation; the protocol outcome is identical,
+    #: only throughput/latency differ.
+    serial_processing: bool = False
+    #: Replica control scheme.  ``"certification"`` is the paper's
+    #: section 2.2 protocol (local reads, version check, possible
+    #: aborts).  ``"conservative"`` is the alternative the paper groups
+    #: with it ("reconfiguration associated with other replica or
+    #: concurrency control schemes will be very similar"): reads execute
+    #: at delivery time under shared locks in total order — no version
+    #: check, no aborts, but reads wait behind earlier writers.
+    protocol: str = "certification"
+    #: Number of data partitions ("relations") the object space is hashed
+    #: into; 0 disables partitioning.  Enables coarse-granularity transfer
+    #: locks (section 4.3) and per-partition lazy round 1 with
+    #: partition-level fail-over resume (section 4.7).
+    partition_count: int = 0
+    transfer_obj_time: float = 0.0002  # peer-side per-object marshalling
+    transfer_batch_size: int = 50
+    object_size_bytes: int = 256
+    checkpoint_interval: float = 1.0
+    #: Truncate the WAL prefix the checkpoint image subsumes (bounded log
+    #: growth).  Safe under uniform delivery; leave off with plain
+    #: reliable delivery, where the truncated before-images may still be
+    #: needed to compensate phantom commits (section 2.3).
+    truncate_log_at_checkpoint: bool = False
+    rectable_flush_interval: float = 0.05
+    rectable_flush_limit: int = 200
+    cover_announce_interval: float = 0.5
+    lazy_round_threshold: int = 20  # last-round trigger (section 4.7)
+    lazy_max_rounds: int = 5
+
+    def validate(self) -> None:
+        if self.protocol not in ("certification", "conservative"):
+            raise ValueError(
+                f"protocol must be 'certification' or 'conservative', got {self.protocol!r}"
+            )
+        for name in ("read_op_time", "write_op_time", "replay_op_time",
+                     "transfer_obj_time"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+        if self.transfer_batch_size < 1:
+            raise ValueError("transfer_batch_size must be at least 1")
+        if self.object_size_bytes < 1:
+            raise ValueError("object_size_bytes must be at least 1")
+        if self.partition_count < 0:
+            raise ValueError("partition_count must be non-negative")
+        if self.lazy_max_rounds < 1:
+            raise ValueError("lazy_max_rounds must be at least 1")
+
+
+@dataclass
+class DeliveredTxn:
+    """Execution state of a delivered transaction at this site."""
+
+    gid: int
+    message: TransactionMessage
+    pending_writes: Set[str] = field(default_factory=set)
+    pending_reads: Set[str] = field(default_factory=set)  # conservative, origin only
+    applied_writes: int = 0
+    rolled_back: bool = False
+
+
+class ReplicatedDatabaseNode:
+    """One site of the replicated database."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        site_id: str,
+        universe: Tuple[str, ...],
+        gcs_config: Optional[GCSConfig] = None,
+        config: Optional[NodeConfig] = None,
+        mode: str = "vs",
+        has_initial_copy: bool = True,
+        initial_db: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if mode not in ("vs", "evs"):
+            raise ValueError(f"mode must be 'vs' or 'evs', got {mode!r}")
+        self.sim = sim
+        self.network = network
+        self.site_id = site_id
+        self.universe = tuple(sorted(universe))
+        self.config = config or NodeConfig()
+        self.config.validate()
+        self.mode = mode
+        self.has_initial_copy = has_initial_copy
+        self._initial_db = dict(initial_db or {})
+
+        if gcs_config is not None and gcs_config.dynamic_universe and mode == "evs":
+            raise ValueError(
+                "dynamic_universe is supported in 'vs' mode only (the primary "
+                "subview of section 5.2 is defined against a static universe)"
+            )
+        if mode == "evs":
+            self.evs_member: Optional[EnrichedGroupMember] = EnrichedGroupMember(
+                sim, network, site_id, self.universe, gcs_config, app=self
+            )
+            self.member: GroupMember = self.evs_member.member
+        else:
+            self.evs_member = None
+            self.member = GroupMember(sim, network, site_id, self.universe, gcs_config, app=self)
+
+        self.xfer = network.endpoint(f"{site_id}:xfer")
+        self.xfer.reliable = True  # "e.g., performed via TCP" (section 4.2)
+        self.xfer.attach(self._on_transfer_message)
+
+        # Crash-surviving state.
+        from repro.db.partitions import make_partition_fn
+
+        self._partition_fn = make_partition_fn(self.config.partition_count)
+        self.storage = PersistentStorage()
+        self.db = Database(self.storage, clock=lambda: self.sim.now,
+                           partition_fn=self._partition_fn)
+        if has_initial_copy:
+            self.db.bootstrap(self._initial_db)
+
+        self.status = SiteStatus.DOWN
+        self.up_to_date = False
+        self.proc = Process(sim)
+
+        self._local_txns: Dict[str, Transaction] = {}
+        self._local_seq = 0
+        self._delivered: Dict[int, DeliveredTxn] = {}
+        self._serial_queue: List[Tuple[int, TransactionMessage]] = []
+        self._serial_current: Optional[int] = None
+        self._quiescence_waiters: List[Tuple[int, Callable[[], None]]] = []
+        self.site_covers: Dict[str, int] = {}
+        self.site_utd: Dict[str, bool] = {}
+
+        # Reconfiguration manager is attached by configure_reconfig().
+        self.reconfig = None
+
+        # Metrics / event taps.
+        self.on_txn_event: Optional[Callable[[str, str, int, Any], None]] = None
+        self.commits = 0
+        self.local_aborts = 0
+        self.enqueue_high_watermark = 0
+        self.last_processed_gid = -1
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def configure_reconfig(self, manager) -> None:
+        """Attach the reconfiguration manager (VS or EVS flavour)."""
+        self.reconfig = manager
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot the site for the first time."""
+        self._start_common()
+        self.up_to_date = self.has_initial_copy
+
+    def crash(self) -> None:
+        """Fail-stop crash: volatile state is lost, stable storage survives."""
+        for txn in list(self._local_txns.values()):
+            if not txn.done:
+                self._finish_local(txn, TxnState.ABORTED, AbortReason.SITE_CRASHED)
+        self._local_txns.clear()
+        self._delivered.clear()
+        self._quiescence_waiters.clear()
+        self._serial_queue.clear()
+        self._serial_current = None
+        self.status = SiteStatus.DOWN
+        self.up_to_date = False
+        self.proc.stop()
+        if self.evs_member is not None:
+            self.evs_member.crash()
+        else:
+            self.member.crash()
+        self.network.take_down(self.xfer.node_id)
+        if self.reconfig is not None:
+            self.reconfig.on_crash()
+
+    def recover(self) -> None:
+        """Restart after a crash: single-site recovery, then rejoin the group."""
+        self.db, recovery = Database.recover_from(
+            self.storage, clock=lambda: self.sim.now, partition_fn=self._partition_fn
+        )
+        self.db.rectable.ensure_current()
+        # Restore gid-numbering continuity from the log: after a total
+        # failure the group must not reuse global sequence numbers that
+        # already identify transactions in stable storage.
+        self.member.gseq_floor = max(self.member.gseq_floor, recovery.last_delivered_gid + 1)
+        self.last_processed_gid = max(self.last_processed_gid, recovery.last_delivered_gid)
+        self._start_common()
+        self.up_to_date = False
+        if self.reconfig is not None:
+            self.reconfig.on_recover(recovery)
+
+    def _start_common(self) -> None:
+        self.status = SiteStatus.STALLED
+        self.site_covers = {}
+        self.site_utd = {}
+        self.proc.start()
+        self.proc.every(self.config.checkpoint_interval, self._checkpoint_tick)
+        self.proc.every(self.config.rectable_flush_interval, self._rectable_tick)
+        self.proc.every(self.config.cover_announce_interval, self._cover_announce_tick)
+        self.network.bring_up(self.xfer.node_id)
+        if self.evs_member is not None:
+            self.evs_member.start()
+        else:
+            self.member.start()
+
+    @property
+    def alive(self) -> bool:
+        return self.status is not SiteStatus.DOWN
+
+    def is_processing(self) -> bool:
+        return self.status is SiteStatus.ACTIVE
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def submit(self, reads: List[str], writes: Dict[str, Any]) -> Transaction:
+        """Submit a transaction at this site (phases I and II).
+
+        Raises RuntimeError when the site cannot currently process
+        transactions (not an up-to-date member of the primary component).
+        """
+        if not self.is_processing():
+            raise RuntimeError(f"{self.site_id} is {self.status.value}, cannot process")
+        self._local_seq += 1
+        txn = Transaction(
+            txn_id=f"{self.site_id}#{self._local_seq}",
+            origin=self.site_id,
+            reads=list(reads),
+            writes=dict(writes),
+            submitted_at=self.sim.now,
+        )
+        self._local_txns[txn.txn_id] = txn
+        if self.config.protocol == "conservative":
+            # No local read phase: everything executes at delivery time
+            # in total order (no version check, no aborts).
+            self._send_phase(txn, deferred_reads=tuple(txn.reads))
+            return txn
+        if not txn.reads:
+            self._send_phase(txn)
+            return txn
+        pending = {"count": len(txn.reads)}
+
+        def on_grant(_request, txn=txn, pending=pending) -> None:
+            pending["count"] -= 1
+            if pending["count"] == 0 and not txn.done:
+                delay = self.config.read_op_time * len(txn.reads)
+                self.proc.after(delay, self._finish_read_phase, txn)
+
+        for obj in txn.reads:
+            self.db.locks.request(txn.txn_id, obj, LockMode.SHARED, on_grant)
+        return txn
+
+    def _finish_read_phase(self, txn: Transaction) -> None:
+        if txn.done:
+            return
+        for obj in txn.reads:
+            value, version = self.db.store.read(obj)
+            txn.read_set[obj] = version
+        self._send_phase(txn)
+
+    def _send_phase(self, txn: Transaction, deferred_reads: tuple = ()) -> None:
+        txn.state = TxnState.SENT
+        txn.sent_at = self.sim.now
+        message = TransactionMessage(
+            origin=self.site_id,
+            local_id=txn.txn_id,
+            read_set=tuple(sorted(txn.read_set.items())),
+            write_set=tuple(sorted(txn.writes.items())),
+            deferred_reads=deferred_reads,
+        )
+        self._multicast(message)
+
+    def _multicast(self, payload: Any) -> None:
+        if self.evs_member is not None:
+            self.evs_member.multicast(payload)
+        else:
+            self.member.multicast(payload)
+
+    # ------------------------------------------------------------------
+    # GCS application callbacks
+    # ------------------------------------------------------------------
+    def flush_state(self) -> Dict[str, Any]:
+        return {"repl": {"utd": self.up_to_date, "cover": self.db.cover_gid()}}
+
+    def on_message(self, sender: str, payload: Any, gseq: int) -> None:
+        if self.status in (SiteStatus.DOWN, SiteStatus.STALLED):
+            return  # behaves as if failed (section 2.3)
+        if isinstance(payload, TransactionMessage):
+            if self.status is SiteStatus.RECOVERING:
+                if self.reconfig is not None:
+                    self.reconfig.on_recovering_message(gseq, payload)
+                return
+            if self.status is SiteStatus.ACTIVE:
+                if self.config.serial_processing:
+                    self._serial_queue.append((gseq, payload))
+                    self._serial_advance()
+                else:
+                    self.process_delivered(gseq, payload)
+            return
+        if isinstance(payload, (UpToDateAnnouncement, CoverAnnouncement, CreationReport)):
+            if self.status is SiteStatus.ACTIVE:
+                self.db.log_noop(gseq)
+                self.last_processed_gid = gseq
+            if isinstance(payload, CreationReport):
+                if self.reconfig is not None:
+                    self.reconfig.on_creation_report(payload, gseq)
+                return
+            self.site_covers[payload.site] = payload.cover_gid
+            self._purge_rectable()
+            if isinstance(payload, UpToDateAnnouncement):
+                self.site_utd[payload.site] = True
+                if self.status is SiteStatus.SUSPENDED and payload.site != self.site_id:
+                    # Someone (e.g. the creation-protocol source) is now
+                    # up to date: we can recover from it.
+                    self.status = SiteStatus.RECOVERING
+                if self.reconfig is not None:
+                    self.reconfig.on_up_to_date(payload.site)
+
+    def on_view_change(self, view: View, states: Dict[str, Dict[str, Any]]) -> None:
+        """Plain-VS mode entry point (EVS mode uses on_eview_change)."""
+        self._handle_membership_change(view, states)
+
+    def on_primary_demoted(self) -> None:
+        """The GCS detected that our view went stale (the rest of the
+        group moved on to a view excluding us): behave as if failed,
+        exactly like a view change into a minority view (section 2.3).
+        Without this a site could miss transactions while still
+        believing it is an up-to-date primary member."""
+        if self.status in (SiteStatus.ACTIVE, SiteStatus.RECOVERING, SiteStatus.SUSPENDED):
+            self._stall()
+            if self.reconfig is not None:
+                self.reconfig.on_demoted()
+
+    def on_eview_change(
+        self,
+        eview: EView,
+        reason: str,
+        states: Dict[str, Dict[str, Any]],
+        gseq: Optional[int] = None,
+    ) -> None:
+        """EVS mode entry point: view changes and e-view changes."""
+        if reason == "view_change":
+            # Up-to-dateness is structural under EVS: member of the
+            # primary subview <=> up to date (section 5.2).
+            assert self.evs_member is not None
+            self.up_to_date = self.evs_member.in_primary_subview()
+            self._handle_membership_change(eview.view, states, eview)
+        elif self.status is SiteStatus.SUSPENDED:
+            # A merge e-view change can create the primary subview (e.g.
+            # after the creation protocol): sites outside it switch to
+            # RECOVERING so they enqueue instead of dropping messages.
+            primary = eview.primary_subview(len(self.universe))
+            if primary is not None and self.site_id not in primary:
+                self.status = SiteStatus.RECOVERING
+        if self.reconfig is not None and self.status is not SiteStatus.DOWN:
+            self.reconfig.on_eview_change(eview, reason, states, gseq)
+
+    # ------------------------------------------------------------------
+    # Membership change handling
+    # ------------------------------------------------------------------
+    def _handle_membership_change(
+        self, view: View, states: Dict[str, Dict[str, Any]], eview: Optional[EView] = None
+    ) -> None:
+        if self.status is SiteStatus.DOWN:
+            return
+        if self.member.last_install_missed > 0 and self.up_to_date:
+            # The total-order lineage delivered messages we never saw
+            # (lost SYNC / stale view): our copy is silently behind, so
+            # up-to-date status is lost and a data transfer must refresh
+            # us like any other joiner.
+            self.up_to_date = False
+        primary = self.member.is_primary()
+        # Update knowledge about other sites from the flushed states.
+        for site, state in states.items():
+            repl = state.get("repl")
+            if repl is not None:
+                self.site_covers[site] = repl["cover"]
+                self.site_utd[site] = repl["utd"]
+        # Members the view change itself identified as stale override
+        # their own (possibly outdated) up-to-date claims.
+        for site in self.member.stale_members:
+            self.site_utd[site] = False
+        self.site_utd[self.site_id] = self.up_to_date
+
+        if not primary:
+            self._stall()
+            if self.mode == "vs" and self.reconfig is not None:
+                self.reconfig.on_view_change(view, states)
+            return
+
+        in_primary_component = self._in_primary_component(eview)
+        if in_primary_component and self.up_to_date:
+            self.status = SiteStatus.ACTIVE
+        elif self._any_up_to_date(view, eview):
+            self.status = SiteStatus.RECOVERING
+        else:
+            self.status = SiteStatus.SUSPENDED
+        if self.mode == "vs" and self.reconfig is not None:
+            self.reconfig.on_view_change(view, states)
+
+    def _in_primary_component(self, eview: Optional[EView]) -> bool:
+        if self.mode == "evs":
+            assert self.evs_member is not None
+            return self.evs_member.in_primary_subview()
+        return True  # VS mode: being in the primary view suffices structurally
+
+    def _any_up_to_date(self, view: View, eview: Optional[EView]) -> bool:
+        if self.mode == "evs" and eview is not None:
+            return eview.primary_subview(len(self.universe)) is not None
+        return any(self.site_utd.get(site, False) for site in view.members)
+
+    def _stall(self) -> None:
+        """Leave the primary component: behave as if failed (section 2.3)."""
+        if self.status is SiteStatus.DOWN:
+            return
+        was_processing = self.status in (
+            SiteStatus.ACTIVE,
+            SiteStatus.RECOVERING,
+            SiteStatus.SUSPENDED,
+        )
+        self.status = SiteStatus.STALLED
+        self.up_to_date = False
+        if self.evs_member is not None:
+            self.evs_member.cancel_pending()
+        else:
+            self.member.cancel_pending()
+        if was_processing:
+            for txn in list(self._local_txns.values()):
+                if not txn.done:
+                    self._abort_local(txn, AbortReason.SITE_LEFT_PRIMARY)
+            # Roll back in-flight delivered transactions *without*
+            # terminating them: they may have committed elsewhere, so the
+            # cover must not advance past them.
+            for gid, delivered in list(self._delivered.items()):
+                if delivered.pending_writes or delivered.applied_writes:
+                    self._rollback_delivered(gid)
+            self._delivered.clear()
+            self._quiescence_waiters.clear()
+            self._serial_queue.clear()
+            self._serial_current = None
+
+    def _become_active(self) -> None:
+        self.up_to_date = True
+        self.site_utd[self.site_id] = True
+        self.status = SiteStatus.ACTIVE
+
+    # ------------------------------------------------------------------
+    # Serialization / write / commit phases (III-V)
+    # ------------------------------------------------------------------
+    def process_delivered(self, gid: int, message: TransactionMessage) -> None:
+        """Phase III, executed atomically at delivery."""
+        self.db.log_begin(gid)
+        self.last_processed_gid = gid
+        delivered = DeliveredTxn(gid=gid, message=message)
+        self._delivered[gid] = delivered
+
+        # III.2 version check.
+        if not self.db.version_check(message.reads()):
+            self.db.abort(gid)
+            del self._delivered[gid]
+            self._emit("abort", gid, message)
+            if message.origin == self.site_id:
+                txn = self._local_txns.get(message.local_id)
+                if txn is not None and not txn.done:
+                    txn.gid = gid
+                    self._finish_local(txn, TxnState.ABORTED, AbortReason.VERSION_CHECK)
+            self._check_quiescence()
+            return
+
+        writes = message.writes()
+        owner = message.local_id  # globally unique: "<origin>#<seq>"
+
+        # III.3 abort local transactions *in their local phase* (reading,
+        # or sent but not yet delivered) that hold conflicting read
+        # locks.  Once a transaction's own message has been delivered it
+        # is past the serialization point and must not be aborted here.
+        for obj in writes:
+            for holder_id, mode in self.db.locks.holders(obj).items():
+                if holder_id == owner:
+                    continue
+                local = self._local_txns.get(holder_id)
+                if (
+                    local is not None
+                    and local.state in (TxnState.LOCAL_READ, TxnState.SENT)
+                    and mode is LockMode.SHARED
+                ):
+                    self._abort_local(local, AbortReason.LOCAL_READER_CONFLICT)
+
+        if message.origin == self.site_id:
+            txn = self._local_txns.get(message.local_id)
+            if txn is not None and not txn.done:
+                txn.gid = gid
+                txn.state = TxnState.EXECUTING
+
+        # Conservative protocol: the origin executes the reads at delivery
+        # time under shared locks — ordered by the total order, so the
+        # values seen are exactly those of the serial gid-order execution.
+        if message.deferred_reads and message.origin == self.site_id:
+            delivered.pending_reads = set(message.deferred_reads)
+            for obj in message.deferred_reads:
+                self.db.locks.request(
+                    owner,
+                    obj,
+                    LockMode.SHARED,
+                    self._make_deferred_read_handler(gid, obj),
+                )
+
+        if not writes:
+            if not delivered.pending_reads:
+                self._commit_delivered(gid)
+            return
+
+        self.db.tag_writes(gid, writes.keys())
+        delivered.pending_writes = set(writes)
+        for obj, value in writes.items():
+            self.db.locks.request(
+                owner,
+                obj,
+                LockMode.EXCLUSIVE,
+                self._make_write_grant_handler(gid, obj, value),
+            )
+
+    def _make_write_grant_handler(self, gid: int, obj: str, value: Any):
+        def on_grant(_request) -> None:
+            self.proc.after(self.config.write_op_time, self._apply_write, gid, obj, value)
+
+        return on_grant
+
+    def _make_deferred_read_handler(self, gid: int, obj: str):
+        def on_grant(_request) -> None:
+            self.proc.after(self.config.read_op_time, self._apply_deferred_read, gid, obj)
+
+        return on_grant
+
+    def _apply_deferred_read(self, gid: int, obj: str) -> None:
+        delivered = self._delivered.get(gid)
+        if delivered is None or delivered.rolled_back:
+            return
+        txn = self._local_txns.get(delivered.message.local_id)
+        if txn is not None:
+            value, version = self.db.store.read(obj)
+            txn.read_results[obj] = value
+            txn.read_set[obj] = version
+        delivered.pending_reads.discard(obj)
+        if not delivered.pending_reads and not delivered.pending_writes:
+            self._commit_delivered(gid)
+
+    def _apply_write(self, gid: int, obj: str, value: Any) -> None:
+        delivered = self._delivered.get(gid)
+        if delivered is None or delivered.rolled_back:
+            return
+        self.db.apply_write(gid, obj, value)
+        delivered.pending_writes.discard(obj)
+        delivered.applied_writes += 1
+        if not delivered.pending_writes and not delivered.pending_reads:
+            self._commit_delivered(gid)
+
+    def _commit_delivered(self, gid: int) -> None:
+        delivered = self._delivered.pop(gid, None)
+        if delivered is None:
+            return
+        message = delivered.message
+        self.db.commit(gid)
+        self.db.locks.release(message.local_id)
+        self.commits += 1
+        self._emit("commit", gid, message)
+        if message.origin == self.site_id:
+            txn = self._local_txns.get(message.local_id)
+            if txn is not None and not txn.done:
+                txn.gid = gid
+                self._finish_local(txn, TxnState.COMMITTED, None)
+        self._check_quiescence()
+        if self.config.serial_processing:
+            self._serial_done(gid)
+        if self.reconfig is not None:
+            self.reconfig.on_transaction_terminated(gid)
+
+    # ------------------------------------------------------------------
+    # Serial application mode (ablation)
+    # ------------------------------------------------------------------
+    def _serial_advance(self) -> None:
+        """Pop and fully process one delivered transaction at a time."""
+        if self._serial_current is not None or not self._serial_queue:
+            return
+        if self.status is not SiteStatus.ACTIVE:
+            return
+        gid, message = self._serial_queue.pop(0)
+        self._serial_current = gid
+        self.process_delivered(gid, message)
+        if self._serial_current == gid and gid not in self._delivered:
+            # Terminated synchronously (version-check abort / no writes).
+            self._serial_current = None
+            self.sim.call_soon(self._serial_advance)
+
+    def _serial_done(self, gid: int) -> None:
+        if self._serial_current == gid:
+            self._serial_current = None
+            self.sim.call_soon(self._serial_advance)
+
+    def _rollback_delivered(self, gid: int) -> None:
+        delivered = self._delivered.get(gid)
+        if delivered is None:
+            return
+        delivered.rolled_back = True
+        self.db.rollback(gid)
+        self.db.locks.cancel(delivered.message.local_id)
+
+    # ------------------------------------------------------------------
+    # Local transaction termination
+    # ------------------------------------------------------------------
+    def _abort_local(self, txn: Transaction, reason: AbortReason) -> None:
+        self._finish_local(txn, TxnState.ABORTED, reason)
+
+    def _finish_local(self, txn: Transaction, state: TxnState, reason) -> None:
+        if txn.done:
+            return
+        txn.state = state
+        txn.abort_reason = reason
+        txn.finished_at = self.sim.now
+        if state is TxnState.ABORTED:
+            self.db.locks.cancel(txn.txn_id)
+            self.local_aborts += 1
+
+    # ------------------------------------------------------------------
+    # Quiescence support for the transfer strategies
+    # ------------------------------------------------------------------
+    def call_when_quiescent_below(self, boundary_gid: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` once every delivered transaction with
+        gid <= boundary has terminated at this site (section 4.5, lock
+        phase: "wait until all transactions delivered before the view
+        change have terminated")."""
+        if self._quiescent_below(boundary_gid):
+            callback()
+        else:
+            self._quiescence_waiters.append((boundary_gid, callback))
+
+    def _quiescent_below(self, boundary_gid: int) -> bool:
+        return all(gid > boundary_gid for gid in self._delivered)
+
+    def _check_quiescence(self) -> None:
+        if not self._quiescence_waiters:
+            return
+        ready = [(b, cb) for b, cb in self._quiescence_waiters if self._quiescent_below(b)]
+        self._quiescence_waiters = [
+            (b, cb) for b, cb in self._quiescence_waiters if not self._quiescent_below(b)
+        ]
+        for _, callback in ready:
+            callback()
+
+    # ------------------------------------------------------------------
+    # Periodic background tasks
+    # ------------------------------------------------------------------
+    def _checkpoint_tick(self) -> None:
+        self.db.checkpoint(truncate_log=self.config.truncate_log_at_checkpoint)
+
+    def _rectable_tick(self) -> None:
+        self.db.rectable.flush_pending(self.config.rectable_flush_limit)
+
+    def _cover_announce_tick(self) -> None:
+        if self.status is SiteStatus.ACTIVE:
+            self._multicast(CoverAnnouncement(site=self.site_id, cover_gid=self.db.cover_gid()))
+
+    def _purge_rectable(self) -> None:
+        # Use the member's (possibly dynamically grown) universe: a record
+        # may only go once every site known to the group has covered it.
+        known = [
+            self.site_covers.get(site, -1)
+            for site in self.member.universe
+            if site != self.site_id
+        ]
+        known.append(self.db.cover_gid())
+        self.db.rectable.purge(min(known))
+
+    # ------------------------------------------------------------------
+    # Transfer channel
+    # ------------------------------------------------------------------
+    def _on_transfer_message(self, src: str, payload: Any) -> None:
+        if self.reconfig is not None and self.alive:
+            self.reconfig.on_transfer_message(src, payload)
+
+    def send_transfer(self, site: str, payload: Any) -> None:
+        self.xfer.send(f"{site}:xfer", payload)
+
+    # ------------------------------------------------------------------
+    def _emit(self, kind: str, gid: int, message: TransactionMessage) -> None:
+        if self.on_txn_event is not None:
+            self.on_txn_event(self.site_id, kind, gid, message)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Node {self.site_id} {self.status.value}{' utd' if self.up_to_date else ''}>"

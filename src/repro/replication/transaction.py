@@ -1,0 +1,78 @@
+"""Client-side transaction objects and their life cycle.
+
+A transaction is "a sequence of read and write operations on objects"
+(section 2.2); as in the paper we assume all reads precede all writes.
+The phases map one-to-one to the protocol:
+
+LOCAL_READ -> SENT -> EXECUTING -> COMMITTED | ABORTED
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+class TxnState(enum.Enum):
+    LOCAL_READ = "local_read"
+    SENT = "sent"
+    EXECUTING = "executing"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class AbortReason(enum.Enum):
+    VERSION_CHECK = "version_check"
+    LOCAL_READER_CONFLICT = "local_reader_conflict"
+    SITE_LEFT_PRIMARY = "site_left_primary"
+    SITE_CRASHED = "site_crashed"
+
+
+@dataclass
+class Transaction:
+    """A transaction submitted at one site.
+
+    Tracks everything the workload generator and the checkers need:
+    timestamps of each phase, the read versions, the assigned gid.
+    """
+
+    txn_id: str
+    origin: str
+    reads: List[str]
+    writes: Dict[str, Any]
+    submitted_at: float = 0.0
+    state: TxnState = TxnState.LOCAL_READ
+    read_set: Dict[str, int] = field(default_factory=dict)
+    #: Values actually read (conservative protocol fills this at delivery
+    #: time; the certification protocol's clients read from the store
+    #: during the local read phase).
+    read_results: Dict[str, Any] = field(default_factory=dict)
+    gid: Optional[int] = None
+    sent_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    abort_reason: Optional[AbortReason] = None
+
+    @property
+    def committed(self) -> bool:
+        return self.state is TxnState.COMMITTED
+
+    @property
+    def aborted(self) -> bool:
+        return self.state is TxnState.ABORTED
+
+    @property
+    def done(self) -> bool:
+        return self.state in (TxnState.COMMITTED, TxnState.ABORTED)
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def __repr__(self) -> str:
+        return (
+            f"<Txn {self.txn_id} {self.state.value}"
+            f"{'' if self.gid is None else f' gid={self.gid}'}>"
+        )

@@ -1,0 +1,6 @@
+"""Deterministic discrete-event simulation kernel."""
+
+from repro.sim.core import Event, Simulator
+from repro.sim.process import Process, Timer
+
+__all__ = ["Event", "Process", "Simulator", "Timer"]

@@ -1,0 +1,190 @@
+"""The discrete-event simulation kernel.
+
+Everything in this reproduction runs on top of :class:`Simulator`: the
+network, the group communication system, the databases and the workload
+generators all schedule callbacks on a single virtual clock.  The kernel is
+single-threaded and fully deterministic: given the same seed and the same
+sequence of ``schedule`` calls, a run always produces the same history.
+
+Ties on the virtual clock are broken by insertion order (a monotonically
+increasing sequence number), which is what makes the simulation
+reproducible even when many events share a timestamp.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. scheduling in the past)."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Events are cancellable: :meth:`cancel` marks the event dead and the
+    kernel skips it when it is popped from the heap.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        label: str = "",
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} #{self.seq} {self.label or self.fn} {state}>"
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator with a seeded RNG.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random number generator.  All
+        stochastic components (latency models, workload generators) must
+        draw from :attr:`rng` so runs are reproducible.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.rng = random.Random(seed)
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self.events_processed = 0
+        self._trace_hooks: list[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self.now + delay, self._seq, fn, args, label)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., Any],
+        *args: Any,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn(*args)`` at an absolute virtual time."""
+        return self.schedule(time - self.now, fn, *args, label=label)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any, label: str = "") -> Event:
+        """Schedule ``fn(*args)`` at the current time (after pending events)."""
+        return self.schedule(0.0, fn, *args, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the heap is empty, ``until`` is reached,
+        or ``max_events`` events have been processed.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, so back-to-back ``run`` calls
+        compose predictably.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                if max_events is not None and processed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time
+                for hook in self._trace_hooks:
+                    hook(event)
+                event.fn(*event.args)
+                processed += 1
+                self.events_processed += 1
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+
+    def run_until_idle(self, max_events: int = 10_000_000) -> None:
+        """Drain every pending event (bounded by ``max_events`` as a safety net)."""
+        self.run(max_events=max_events)
+        if self._heap and not all(e.cancelled for e in self._heap):
+            raise SimulationError(
+                f"run_until_idle exceeded {max_events} events; "
+                "likely a livelock in the protocol under test"
+            )
+
+    def step(self) -> bool:
+        """Process a single event.  Returns False when nothing is pending."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            for hook in self._trace_hooks:
+                hook(event)
+            event.fn(*event.args)
+            self.events_processed += 1
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the earliest pending event, or None."""
+        for event in sorted(self._heap):
+            if not event.cancelled:
+                return event.time
+        return None
+
+    def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a callable invoked just before each event fires."""
+        self._trace_hooks.append(hook)

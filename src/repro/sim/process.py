@@ -1,0 +1,103 @@
+"""Process and timer helpers on top of the raw event heap.
+
+A :class:`Process` is a convenience base class for protocol actors (group
+members, database nodes, workload clients): it owns its scheduled events so
+that stopping the process cancels everything it had in flight — which is
+exactly what a crash must do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.core import Event, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    Used for heartbeat timeouts, protocol round timeouts, etc.  ``restart``
+    cancels any pending expiry and re-arms the timer, which is the common
+    "push back the deadline" idiom of failure detectors.
+    """
+
+    def __init__(self, sim: Simulator, interval: float, callback: Callable[[], Any]) -> None:
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    def start(self) -> None:
+        if not self.armed:
+            self._event = self.sim.schedule(self.interval, self._fire, label="timer")
+
+    def restart(self) -> None:
+        self.cancel()
+        self._event = self.sim.schedule(self.interval, self._fire, label="timer")
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.callback()
+
+
+class Process:
+    """Base class for simulated actors that can be stopped/crashed.
+
+    Subclasses schedule work through :meth:`after` / :meth:`every`; all
+    such events are tracked and cancelled by :meth:`stop`.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.alive = False
+        self._owned_events: list[Event] = []
+
+    def start(self) -> None:
+        self.alive = True
+
+    def stop(self) -> None:
+        """Stop the process and cancel everything it scheduled."""
+        self.alive = False
+        for event in self._owned_events:
+            event.cancel()
+        self._owned_events.clear()
+
+    # ------------------------------------------------------------------
+    def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn`` after ``delay``, skipped if the process has died."""
+        event = self.sim.schedule(delay, self._guarded, fn, args)
+        self._owned_events.append(event)
+        self._compact()
+        return event
+
+    def every(self, interval: float, fn: Callable[..., Any]) -> Event:
+        """Run ``fn`` every ``interval`` until the process stops."""
+
+        def tick() -> None:
+            if not self.alive:
+                return
+            fn()
+            self.every(interval, fn)
+
+        return self.after(interval, tick)
+
+    def _guarded(self, fn: Callable[..., Any], args: tuple) -> None:
+        if self.alive:
+            fn(*args)
+
+    def _compact(self) -> None:
+        # Drop references to fired/cancelled events now and then so a
+        # long-lived process does not accumulate unbounded garbage.
+        if len(self._owned_events) > 256:
+            self._owned_events = [
+                e for e in self._owned_events if not e.cancelled and e.time >= self.sim.now
+            ]

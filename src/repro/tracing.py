@@ -1,0 +1,177 @@
+"""Structured event tracing for protocol runs.
+
+A :class:`Tracer` collects timestamped, categorised events from every
+layer of a cluster — view changes, e-view changes, status transitions,
+transfer lifecycle, creation-protocol steps — so that examples can print
+readable timelines and tests can assert event *sequences* rather than
+just end states.
+
+Attach with :func:`attach_tracer`, which instruments a cluster's nodes
+non-invasively (wrapping the existing callbacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    site: str
+    category: str  # "view" | "eview" | "status" | "transfer" | "txn" | "creation"
+    kind: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"{self.time:8.3f}  {self.site:4s}  {self.category:8s} {self.kind}" + (
+            f"  {self.detail}" if self.detail else ""
+        )
+
+
+class Tracer:
+    """Collects and queries trace events of one simulation run."""
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self._clock = clock
+        self.events: List[TraceEvent] = []
+        self.enabled = True
+
+    def emit(self, site: str, category: str, kind: str, detail: str = "") -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(self._clock(), site, category, kind, detail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def of(self, category: Optional[str] = None, site: Optional[str] = None,
+           kind: Optional[str] = None) -> List[TraceEvent]:
+        return [
+            e for e in self.events
+            if (category is None or e.category == category)
+            and (site is None or e.site == site)
+            and (kind is None or e.kind == kind)
+        ]
+
+    def kinds(self, category: str, site: Optional[str] = None) -> List[str]:
+        return [e.kind for e in self.of(category, site)]
+
+    def between(self, start: float, end: float) -> List[TraceEvent]:
+        return [e for e in self.events if start <= e.time < end]
+
+    def timeline(self, limit: int = 0) -> str:
+        """A printable timeline (all events, or the last ``limit``)."""
+        events = self.events[-limit:] if limit else self.events
+        return "\n".join(str(e) for e in events)
+
+    def assert_order(self, *expectations: Tuple[str, str]) -> None:
+        """Assert that events matching (category, kind) pairs occur in the
+        given relative order (each after the previous match)."""
+        index = 0
+        for category, kind in expectations:
+            while index < len(self.events):
+                event = self.events[index]
+                index += 1
+                if event.category == category and event.kind == kind:
+                    break
+            else:
+                raise AssertionError(
+                    f"event ({category}, {kind}) not found in order; "
+                    f"have: {[(e.category, e.kind) for e in self.events]}"
+                )
+
+
+def attach_tracer(cluster) -> Tracer:
+    """Instrument every node of a cluster with a shared tracer.
+
+    Wraps status transitions, view/e-view changes, transfer session
+    lifecycle and creation-protocol steps.  Returns the tracer; the
+    cluster keeps a reference in ``cluster.tracer``.
+    """
+    tracer = Tracer(clock=lambda: cluster.sim.now)
+    cluster.tracer = tracer
+    for site, node in cluster.nodes.items():
+        _instrument_node(tracer, node)
+    return tracer
+
+
+def _instrument_node(tracer: Tracer, node) -> None:
+    site = node.site_id
+
+    # Status transitions -------------------------------------------------
+    original_handle = node._handle_membership_change
+
+    def traced_handle(view, states, eview=None):
+        before = node.status
+        original_handle(view, states, eview)
+        tracer.emit(site, "view", "install",
+                    f"{view} primary={node.member.is_primary()}")
+        if node.status is not before:
+            tracer.emit(site, "status", node.status.value, f"was {before.value}")
+
+    node._handle_membership_change = traced_handle
+
+    original_become_active = node._become_active
+
+    def traced_become_active():
+        original_become_active()
+        tracer.emit(site, "status", "active", "up to date")
+
+    node._become_active = traced_become_active
+
+    # E-view changes ------------------------------------------------------
+    if node.evs_member is not None:
+        original_eview = node.on_eview_change
+
+        def traced_eview(eview, reason, states, gseq=None):
+            if reason != "view_change":
+                tracer.emit(site, "eview", reason, repr(eview))
+            original_eview(eview, reason, states, gseq)
+
+        node.on_eview_change = traced_eview
+        node.evs_member.app = node  # callbacks route through the node itself
+
+    # Transfer lifecycle ---------------------------------------------------
+    manager = node.reconfig
+    if manager is None:
+        return
+
+    original_start = manager.start_session
+
+    def traced_start(joiner, sync_gid):
+        before = set(manager.sessions_out)
+        original_start(joiner, sync_gid)
+        if joiner not in before and joiner in manager.sessions_out:
+            tracer.emit(site, "transfer", "start", f"-> {joiner} sync={sync_gid}")
+
+    manager.start_session = traced_start
+
+    original_cancel = manager.cancel_session
+
+    def traced_cancel(joiner):
+        if joiner in manager.sessions_out:
+            tracer.emit(site, "transfer", "cancel", f"-> {joiner}")
+        original_cancel(joiner)
+
+    manager.cancel_session = traced_cancel
+
+    original_complete = manager._on_transfer_complete
+
+    def traced_complete(msg):
+        original_complete(msg)
+        if manager.joiner_session is not None and manager.joiner_session.complete:
+            tracer.emit(site, "transfer", "complete",
+                        f"baseline={msg.baseline_gid}")
+
+    manager._on_transfer_complete = traced_complete
+
+    original_creation = manager.check_creation
+
+    def traced_creation(view):
+        started_before = manager._creation_started
+        original_creation(view)
+        if manager._creation_started and not started_before:
+            tracer.emit(site, "creation", "report", f"cover={node.db.cover_gid()}")
+
+    manager.check_creation = traced_creation

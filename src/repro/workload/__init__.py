@@ -1,0 +1,6 @@
+"""Workload generation and metrics for the experiment harness."""
+
+from repro.workload.generator import LoadGenerator, WorkloadConfig
+from repro.workload.metrics import ThroughputTimeline, summarize_latencies
+
+__all__ = ["LoadGenerator", "ThroughputTimeline", "WorkloadConfig", "summarize_latencies"]

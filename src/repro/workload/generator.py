@@ -1,0 +1,184 @@
+"""Synthetic OLTP workload generator.
+
+Parameterised by exactly the dimensions the paper says reconfiguration
+efficiency depends on (section 4): transaction throughput, read/write
+ratio, database size (via the cluster) and access skew.  Transactions
+are submitted to a randomly chosen ACTIVE site with exponential
+inter-arrival times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster import Cluster
+from repro.replication.transaction import Transaction
+
+
+@dataclass
+class WorkloadConfig:
+    """Workload shape.
+
+    Attributes
+    ----------
+    arrival_rate:
+        Mean transactions per (virtual) second across the cluster.
+    reads_per_txn / writes_per_txn:
+        Operation counts per transaction.  A write-only transaction has
+        ``reads_per_txn = 0``; the benchmark sweeps derive read/write
+        ratios from these two.
+    hot_fraction / hot_access_probability:
+        Skew: a ``hot_fraction`` of the database receives
+        ``hot_access_probability`` of all accesses (80/20-style).
+        Set ``hot_access_probability`` to 0 for uniform access.
+    """
+
+    arrival_rate: float = 200.0
+    reads_per_txn: int = 2
+    writes_per_txn: int = 2
+    hot_fraction: float = 0.2
+    hot_access_probability: float = 0.0
+    #: Resubmit version-check-aborted transactions (the standard OLTP
+    #: client behaviour the paper assumes when an optimistic reader
+    #: loses): up to ``max_retries`` attempts per logical transaction.
+    retry_aborted: bool = False
+    max_retries: int = 3
+
+    def validate(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.reads_per_txn < 0 or self.writes_per_txn < 0:
+            raise ValueError("operation counts must be non-negative")
+        if not 0.0 < self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= self.hot_access_probability <= 1.0:
+            raise ValueError("hot_access_probability must be in [0, 1]")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+class LoadGenerator:
+    """Drives a cluster with the configured workload."""
+
+    def __init__(self, cluster: Cluster, config: Optional[WorkloadConfig] = None) -> None:
+        self.cluster = cluster
+        self.config = config or WorkloadConfig()
+        self.config.validate()
+        self.transactions: List[Transaction] = []
+        self.skipped = 0  # ticks with no active site to submit to
+        self.retries = 0
+        self._running = False
+        self._objects = sorted(cluster.initial_db)
+        self._value_counter = 0
+        self._retry_scan_index = 0
+        self._attempts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        if not self._running:
+            return
+        rng = self.cluster.sim.rng
+        delay = rng.expovariate(self.config.arrival_rate)
+        self.cluster.sim.schedule(delay, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._submit_one()
+        if self.config.retry_aborted:
+            self._retry_scan()
+        self._schedule_next()
+
+    def _retry_scan(self) -> None:
+        """Resubmit freshly aborted transactions (scanned incrementally)."""
+        from repro.replication.transaction import AbortReason
+
+        while self._retry_scan_index < len(self.transactions):
+            txn = self.transactions[self._retry_scan_index]
+            if not txn.done:
+                break  # keep order: retry only the settled prefix
+            self._retry_scan_index += 1
+            if not txn.aborted:
+                continue
+            if txn.abort_reason in (AbortReason.SITE_CRASHED,
+                                    AbortReason.SITE_LEFT_PRIMARY):
+                continue  # the site is gone; a real client would fail over
+            attempts = self._attempts.get(txn.txn_id, 1)
+            if attempts > self.config.max_retries:
+                continue
+            active = self.cluster.active_sites()
+            if not active:
+                continue
+            site = active[self.cluster.sim.rng.randrange(len(active))]
+            try:
+                retry = self.cluster.nodes[site].submit(list(txn.reads),
+                                                        dict(txn.writes))
+            except RuntimeError:
+                continue
+            self.retries += 1
+            self._attempts[retry.txn_id] = attempts + 1
+            self.transactions.append(retry)
+
+    # ------------------------------------------------------------------
+    def _pick_object(self) -> str:
+        rng = self.cluster.sim.rng
+        config = self.config
+        n = len(self._objects)
+        hot_count = max(1, int(n * config.hot_fraction))
+        if config.hot_access_probability > 0 and rng.random() < config.hot_access_probability:
+            return self._objects[rng.randrange(hot_count)]
+        return self._objects[rng.randrange(n)]
+
+    def _submit_one(self) -> None:
+        rng = self.cluster.sim.rng
+        active = self.cluster.active_sites()
+        if not active:
+            self.skipped += 1
+            return
+        site = active[rng.randrange(len(active))]
+        reads: List[str] = []
+        seen = set()
+        for _ in range(self.config.reads_per_txn):
+            obj = self._pick_object()
+            if obj not in seen:
+                seen.add(obj)
+                reads.append(obj)
+        writes: Dict[str, int] = {}
+        for _ in range(self.config.writes_per_txn):
+            self._value_counter += 1
+            writes[self._pick_object()] = self._value_counter
+        try:
+            txn = self.cluster.nodes[site].submit(reads, writes)
+        except RuntimeError:
+            self.skipped += 1
+            return
+        self.transactions.append(txn)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def committed(self) -> List[Transaction]:
+        return [t for t in self.transactions if t.committed]
+
+    def aborted(self) -> List[Transaction]:
+        return [t for t in self.transactions if t.aborted]
+
+    def unresolved(self) -> List[Transaction]:
+        return [t for t in self.transactions if not t.done]
+
+    def abort_rate(self) -> float:
+        done = [t for t in self.transactions if t.done]
+        if not done:
+            return 0.0
+        return len(self.aborted()) / len(done)
+
+    def latencies(self) -> List[float]:
+        return [t.latency for t in self.committed() if t.latency is not None]

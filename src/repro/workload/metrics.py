@@ -1,0 +1,72 @@
+"""Metrics utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.checkers import HistoryRecorder
+
+
+@dataclass
+class LatencySummary:
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+
+def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
+    """Mean / median / p95 / max of a latency sample (0s when empty)."""
+    if not latencies:
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(latencies)
+    n = len(ordered)
+
+    def percentile(p: float) -> float:
+        index = min(n - 1, int(p * n))
+        return ordered[index]
+
+    return LatencySummary(
+        count=n,
+        mean=sum(ordered) / n,
+        p50=percentile(0.50),
+        p95=percentile(0.95),
+        maximum=ordered[-1],
+    )
+
+
+class ThroughputTimeline:
+    """Commits per time bucket, derived from the history recorder.
+
+    Used by the benchmarks that show how transaction processing
+    "continues unhindered" (or not) during a data transfer.
+    """
+
+    def __init__(self, history: HistoryRecorder, bucket: float = 0.1) -> None:
+        self.bucket = bucket
+        self.history = history
+
+    def series(self, site: str = None) -> List[Tuple[float, int]]:
+        """(bucket start, commits in bucket), gid-deduplicated unless a
+        specific site is requested."""
+        buckets: Dict[int, set] = {}
+        for event in self.history.events:
+            if event.kind != "commit":
+                continue
+            if site is not None and event.site != site:
+                continue
+            index = int(event.time / self.bucket)
+            buckets.setdefault(index, set()).add(event.gid)
+        if not buckets:
+            return []
+        last = max(buckets)
+        return [(i * self.bucket, len(buckets.get(i, ()))) for i in range(last + 1)]
+
+    def min_bucket_between(self, start: float, end: float, site: str = None) -> int:
+        """Worst (lowest-commit) bucket in a window — the "dip" metric."""
+        values = [
+            count for t, count in self.series(site) if start <= t < end
+        ]
+        return min(values) if values else 0

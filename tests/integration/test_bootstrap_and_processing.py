@@ -1,0 +1,159 @@
+"""Integration: cluster bootstrap and normal transaction processing."""
+
+import pytest
+
+from repro import ClusterBuilder
+from repro.replication.node import SiteStatus
+from repro.replication.transaction import AbortReason, TxnState
+from tests.conftest import quick_cluster, run_load
+
+
+class TestBootstrap:
+    @pytest.mark.parametrize("mode", ["vs", "evs"])
+    def test_all_sites_become_active(self, mode):
+        cluster = quick_cluster(mode=mode)
+        assert cluster.active_sites() == list(cluster.universe)
+
+    def test_builder_site_names(self):
+        builder = ClusterBuilder(n_sites=4)
+        assert builder.site_names() == ("S1", "S2", "S3", "S4")
+
+    def test_initial_database_loaded(self):
+        cluster = quick_cluster(db_size=10)
+        node = cluster.nodes["S1"]
+        assert len(node.db.store) == 10
+        assert node.db.store.read("obj0") == (0, -1)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterBuilder(mode="nope").build()
+
+    def test_submit_rejected_before_active(self):
+        cluster = ClusterBuilder(n_sites=3, db_size=5, seed=1).build()
+        cluster.start()
+        with pytest.raises(RuntimeError):
+            cluster.nodes["S1"].submit([], {"obj0": 1})
+
+
+class TestTransactionProcessing:
+    def test_simple_write_commits_everywhere(self):
+        cluster = quick_cluster()
+        txn = cluster.submit_via("S1", [], {"obj0": 99})
+        cluster.settle(0.5)
+        assert txn.committed
+        for node in cluster.nodes.values():
+            assert node.db.store.value("obj0") == 99
+
+    def test_read_only_transaction_commits(self):
+        cluster = quick_cluster()
+        txn = cluster.submit_via("S1", ["obj0"], {})
+        cluster.settle(0.5)
+        assert txn.committed
+        assert txn.read_set == {"obj0": -1}
+
+    def test_read_your_own_writes(self):
+        cluster = quick_cluster()
+        cluster.submit_via("S1", [], {"obj0": 5})
+        cluster.settle(0.5)
+        txn = cluster.submit_via("S1", ["obj0"], {})
+        cluster.settle(0.5)
+        assert txn.committed
+        version = txn.read_set["obj0"]
+        assert version >= 0  # saw the committed write's version
+
+    def test_gid_assigned_from_total_order(self):
+        cluster = quick_cluster()
+        t1 = cluster.submit_via("S1", [], {"obj0": 1})
+        t2 = cluster.submit_via("S2", [], {"obj1": 2})
+        cluster.settle(0.5)
+        assert t1.gid is not None and t2.gid is not None
+        assert t1.gid != t2.gid
+
+    def test_object_version_is_writer_gid(self):
+        cluster = quick_cluster()
+        txn = cluster.submit_via("S1", [], {"obj3": "x"})
+        cluster.settle(0.5)
+        for node in cluster.nodes.values():
+            assert node.db.store.version("obj3") == txn.gid
+
+    def test_version_check_aborts_stale_reader(self):
+        """Two concurrent read-modify-writes on the same object: the one
+        serialized second must fail its version check (section 2.2)."""
+        cluster = quick_cluster()
+        t1 = cluster.submit_via("S1", ["obj0"], {"obj0": "a"})
+        t2 = cluster.submit_via("S2", ["obj0"], {"obj0": "b"})
+        cluster.settle(0.5)
+        outcomes = sorted([t1.state, t2.state], key=lambda s: s.value)
+        assert outcomes == [TxnState.ABORTED, TxnState.COMMITTED]
+        aborted = t1 if t1.aborted else t2
+        assert aborted.abort_reason in (
+            AbortReason.VERSION_CHECK, AbortReason.LOCAL_READER_CONFLICT
+        )
+
+    def test_non_conflicting_transactions_both_commit(self):
+        cluster = quick_cluster()
+        t1 = cluster.submit_via("S1", ["obj0"], {"obj1": 1})
+        t2 = cluster.submit_via("S2", ["obj2"], {"obj3": 2})
+        cluster.settle(0.5)
+        assert t1.committed and t2.committed
+
+    def test_local_reader_aborted_by_delivered_writer(self):
+        """Phase III.3: a local-phase reader holding a conflicting read
+        lock is aborted when a delivered transaction wants the write lock."""
+        cluster = quick_cluster()
+        # t_writer from S2 will be delivered while t_reader still reads
+        # at S1 (read phase takes read_op_time per object).
+        t_reader = cluster.submit_via("S1", ["obj0", "obj1", "obj2"], {"obj9": 1})
+        t_writer = cluster.submit_via("S2", [], {"obj0": "clash"})
+        cluster.settle(0.5)
+        assert t_writer.committed
+        # The reader either got aborted by III.3 or lost the version check.
+        if t_reader.aborted:
+            assert t_reader.abort_reason in (
+                AbortReason.LOCAL_READER_CONFLICT, AbortReason.VERSION_CHECK
+            )
+
+    def test_throughput_under_load(self):
+        cluster = quick_cluster()
+        load = run_load(cluster, duration=1.0, rate=200)
+        assert len(load.committed()) > 100
+        assert not load.unresolved()
+        cluster.check()
+
+    def test_latencies_recorded(self):
+        cluster = quick_cluster()
+        load = run_load(cluster, duration=0.5, rate=50)
+        latencies = load.latencies()
+        assert latencies and all(l > 0 for l in latencies)
+
+    def test_commits_equal_across_sites(self):
+        cluster = quick_cluster()
+        run_load(cluster, duration=1.0)
+        commit_sets = {
+            site: set(cluster.history.commits_of(site)) for site in cluster.universe
+        }
+        values = list(commit_sets.values())
+        assert values[0] == values[1] == values[2]
+
+    @pytest.mark.parametrize("mode", ["vs", "evs"])
+    def test_full_checker_battery(self, mode):
+        cluster = quick_cluster(mode=mode)
+        run_load(cluster, duration=1.0)
+        cluster.check()
+
+
+class TestLockDiscipline:
+    def test_no_locks_leak_after_quiescence(self):
+        cluster = quick_cluster()
+        run_load(cluster, duration=0.5)
+        cluster.settle(1.0)
+        for node in cluster.nodes.values():
+            assert node.db.locks.waiting_requests() == []
+            assert not node.db.locks._holders
+
+    def test_no_delivered_transactions_stuck(self):
+        cluster = quick_cluster()
+        run_load(cluster, duration=0.5)
+        cluster.settle(1.0)
+        for node in cluster.nodes.values():
+            assert node._delivered == {}

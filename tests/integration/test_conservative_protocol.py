@@ -1,0 +1,134 @@
+"""Tests for the conservative replica-control variant (no version check,
+reads execute at delivery in total order) and the paper's claim that
+reconfiguration is scheme-agnostic."""
+
+import pytest
+
+from repro import LoadGenerator, NodeConfig, WorkloadConfig
+from repro.replication.node import SiteStatus
+from tests.conftest import quick_cluster, run_load
+
+
+def conservative_cluster(**kwargs):
+    defaults = dict(db_size=40, node_config=NodeConfig(protocol="conservative"))
+    defaults.update(kwargs)
+    return quick_cluster(**defaults)
+
+
+class TestConservativeExecution:
+    def test_write_commits_everywhere(self):
+        cluster = conservative_cluster()
+        txn = cluster.submit_via("S1", [], {"obj0": "x"})
+        cluster.settle(0.3)
+        assert txn.committed
+        for node in cluster.nodes.values():
+            assert node.db.store.value("obj0") == "x"
+
+    def test_reads_execute_at_delivery(self):
+        cluster = conservative_cluster()
+        cluster.submit_via("S1", [], {"obj0": "written"})
+        cluster.settle(0.3)
+        txn = cluster.submit_via("S2", ["obj0"], {})
+        cluster.settle(0.3)
+        assert txn.committed
+        assert txn.read_results == {"obj0": "written"}
+
+    def test_no_aborts_under_contention(self):
+        """The defining property: conflicting read-modify-writes are
+        serialized by the total order instead of aborting."""
+        cluster = conservative_cluster()
+        a = cluster.submit_via("S1", ["obj0"], {"obj0": "a"})
+        b = cluster.submit_via("S2", ["obj0"], {"obj0": "b"})
+        cluster.settle(0.3)
+        assert a.committed and b.committed
+        # The later gid's write wins; all replicas agree.
+        winner = a if a.gid > b.gid else b
+        for node in cluster.nodes.values():
+            assert node.db.store.value("obj0") == winner.writes["obj0"]
+
+    def test_read_sees_prior_writer_in_gid_order(self):
+        cluster = conservative_cluster()
+        w = cluster.submit_via("S1", [], {"obj0": "first"})
+        r = cluster.submit_via("S2", ["obj0"], {})
+        cluster.settle(0.3)
+        assert w.committed and r.committed
+        if r.gid > w.gid:
+            assert r.read_results["obj0"] == "first"
+        else:
+            assert r.read_results["obj0"] == 0
+
+    def test_workload_conserves_consistency(self):
+        cluster = conservative_cluster()
+        load = run_load(cluster, duration=1.0, rate=150)
+        assert load.abort_rate() == 0.0
+        assert not load.unresolved()
+        cluster.check()
+
+    def test_zero_aborts_vs_certification_contention(self):
+        rates = {}
+        for protocol in ("certification", "conservative"):
+            cluster = quick_cluster(db_size=4, seed=61,
+                                    node_config=NodeConfig(protocol=protocol))
+            load = run_load(cluster, duration=1.0, rate=200, reads=2, writes=2)
+            rates[protocol] = load.abort_rate()
+            cluster.check()
+        assert rates["conservative"] == 0.0
+        assert rates["certification"] > 0.1
+
+
+class TestSchemeAgnosticReconfiguration:
+    """Section 2.2: "reconfiguration associated with other replica or
+    concurrency control schemes will be very similar" — here: identical."""
+
+    @pytest.mark.parametrize("strategy", ["full", "rectable", "lazy"])
+    def test_crash_recovery_under_conservative(self, strategy):
+        cluster = conservative_cluster(strategy=strategy, db_size=60)
+        load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=100,
+                                                     reads_per_txn=1,
+                                                     writes_per_txn=2))
+        load.start()
+        cluster.run_for(0.5)
+        cluster.crash("S3")
+        cluster.run_for(0.5)
+        cluster.recover("S3")
+        ok = cluster.await_condition(
+            lambda: cluster.nodes["S3"].status is SiteStatus.ACTIVE, timeout=30
+        )
+        load.stop()
+        cluster.settle(1.0)
+        assert ok
+        cluster.check()
+
+    def test_partition_heal_under_conservative(self):
+        cluster = conservative_cluster(n_sites=5, db_size=50)
+        load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=100,
+                                                     reads_per_txn=1,
+                                                     writes_per_txn=2))
+        load.start()
+        cluster.run_for(0.5)
+        cluster.partition([["S1", "S2", "S3"], ["S4", "S5"]])
+        cluster.run_for(1.0)
+        cluster.heal()
+        ok = cluster.await_all_active(timeout=30)
+        load.stop()
+        cluster.settle(1.0)
+        assert ok
+        cluster.check()
+
+    def test_evs_mode_under_conservative(self):
+        cluster = conservative_cluster(mode="evs", n_sites=5, db_size=50)
+        load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=80,
+                                                     reads_per_txn=1,
+                                                     writes_per_txn=2))
+        load.start()
+        cluster.run_for(0.5)
+        cluster.crash("S5")
+        cluster.run_for(0.5)
+        cluster.recover("S5")
+        ok = cluster.await_condition(
+            lambda: cluster.nodes["S5"].status is SiteStatus.ACTIVE, timeout=30
+        )
+        load.stop()
+        cluster.settle(1.0)
+        assert ok
+        cluster.check()

@@ -1,0 +1,51 @@
+"""Pinned regression seeds from the loss-fuzzing campaign.
+
+Each of these exact configurations once produced a safety violation
+(see EXPERIMENTS.md, "Hardening findings"); they must stay green.
+"""
+
+import pytest
+
+from repro import ClusterBuilder, LoadGenerator, WorkloadConfig
+from repro.checkers import (
+    check_decision_agreement,
+    check_gid_consistency,
+    check_one_copy_serializability,
+)
+
+CASES = [
+    # (seed, loss, fault) -> the bug the run originally exposed
+    (101, 0.10, "none"),       # silent staleness: lost SYNC, stale utd claim
+    (101, 0.05, "crash"),      # joiner gseq gap -> join restart
+    (0, 0.02, "partition"),    # stale version tags vs transferred state
+    (408, 0.10, "partition"),  # replay races a replacement session
+]
+
+
+@pytest.mark.parametrize("seed,loss,fault", CASES)
+def test_pinned_loss_regressions(seed, loss, fault):
+    cluster = ClusterBuilder(n_sites=3, db_size=40, seed=seed,
+                             strategy="rectable", loss_rate=loss).build()
+    cluster.start()
+    if not cluster.await_all_active(timeout=20):
+        pytest.skip("bootstrap did not finish under loss (liveness, not safety)")
+    load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=60, reads_per_txn=1,
+                                                 writes_per_txn=2))
+    load.start()
+    cluster.run_for(0.5)
+    if fault == "crash":
+        cluster.crash("S3")
+        cluster.run_for(0.5)
+        cluster.recover("S3")
+    elif fault == "partition":
+        cluster.partition([["S1", "S2"], ["S3"]])
+        cluster.run_for(0.8)
+        cluster.heal()
+    elif fault == "none":
+        cluster.run_for(1.0)
+    cluster.run_for(1.0)
+    load.stop()
+    cluster.settle(2.0)
+    check_gid_consistency(cluster.history)
+    check_decision_agreement(cluster.history)
+    check_one_copy_serializability(cluster.history)

@@ -1,0 +1,80 @@
+"""End-to-end runs over a lossy network: the retransmission machinery
+(NAKs, DATA resends, offer retries) must keep every guarantee intact —
+only latency may suffer."""
+
+import pytest
+
+from repro import ClusterBuilder, LoadGenerator, WorkloadConfig
+from repro.replication.node import SiteStatus
+
+
+def lossy_cluster(loss_rate, seed=101, **kwargs):
+    defaults = dict(n_sites=3, db_size=40, strategy="rectable")
+    defaults.update(kwargs)
+    cluster = ClusterBuilder(seed=seed, loss_rate=loss_rate, **defaults).build()
+    cluster.start()
+    assert cluster.await_all_active(timeout=20), "bootstrap under loss failed"
+    return cluster
+
+
+class TestLossyOperation:
+    @pytest.mark.parametrize("loss", [0.02, 0.10])
+    def test_workload_correct_under_loss(self, loss):
+        cluster = lossy_cluster(loss)
+        load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=80,
+                                                     reads_per_txn=1, writes_per_txn=2))
+        load.start()
+        cluster.run_for(2.0)
+        load.stop()
+        cluster.settle(3.0)
+        cluster.check()
+        assert len(load.committed()) > 50
+
+    def test_recovery_completes_under_loss(self):
+        cluster = lossy_cluster(0.05)
+        load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=60,
+                                                     reads_per_txn=1, writes_per_txn=2))
+        load.start()
+        cluster.run_for(0.5)
+        cluster.crash("S3")
+        cluster.run_for(0.5)
+        cluster.recover("S3")
+        ok = cluster.await_condition(
+            lambda: cluster.nodes["S3"].status is SiteStatus.ACTIVE, timeout=60
+        )
+        load.stop()
+        cluster.settle(2.0)
+        assert ok
+        cluster.check()
+
+    def test_lazy_transfer_under_loss(self):
+        cluster = lossy_cluster(0.05, strategy="lazy")
+        load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=60,
+                                                     reads_per_txn=1, writes_per_txn=2))
+        load.start()
+        cluster.run_for(0.5)
+        cluster.crash("S3")
+        cluster.run_for(0.5)
+        cluster.recover("S3")
+        ok = cluster.await_condition(
+            lambda: cluster.nodes["S3"].status is SiteStatus.ACTIVE, timeout=60
+        )
+        load.stop()
+        cluster.settle(2.0)
+        assert ok
+        cluster.check()
+
+    def test_partition_heal_under_loss(self):
+        cluster = lossy_cluster(0.05, n_sites=5, db_size=40)
+        load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=60,
+                                                     reads_per_txn=1, writes_per_txn=2))
+        load.start()
+        cluster.run_for(0.5)
+        cluster.partition([["S1", "S2", "S3"], ["S4", "S5"]])
+        cluster.run_for(1.0)
+        cluster.heal()
+        ok = cluster.await_all_active(timeout=60)
+        load.stop()
+        cluster.settle(2.0)
+        assert ok
+        cluster.check()

@@ -1,0 +1,74 @@
+"""Integration: uniform delivery vs plain reliable delivery (section 2.3).
+
+"With weaker forms of message delivery (e.g., reliable delivery),
+transaction atomicity can be violated: a failed site might have
+committed a transaction shortly before the failure even though the
+message was not delivered at the sites that continue in a primary view."
+
+These tests construct exactly that interleaving and show that uniform
+(safe) delivery prevents it — the basis of ablation benchmark E9c.
+"""
+
+import pytest
+
+from repro import ClusterBuilder, NodeConfig
+from repro.gcs.config import GCSConfig
+from repro.replication.node import SiteStatus
+
+
+def build(uniform: bool, seed=3):
+    gcs = GCSConfig(uniform=uniform)
+    # Instant writes so the origin can commit before others hear anything.
+    node_config = NodeConfig(write_op_time=0.0)
+    cluster = ClusterBuilder(n_sites=3, db_size=10, seed=seed, strategy="version_check",
+                             gcs_config=gcs, node_config=node_config).build()
+    cluster.start()
+    assert cluster.await_all_active(timeout=10)
+    return cluster
+
+
+def run_interleaving(cluster):
+    """Submit at the sequencer (S1) and immediately isolate it, so the
+    ORDERED message never reaches S2/S3."""
+    txn = cluster.submit_via("S1", [], {"obj0": "phantom"})
+    # Give S1 (origin = sequencer) a moment shorter than one network hop:
+    # it can self-deliver instantly; nobody else can have received it.
+    cluster.partition([["S1"], ["S2", "S3"]])
+    cluster.run_for(0.0005)
+    cluster.run_for(3.0)
+    return txn
+
+
+class TestUniformDelivery:
+    def test_uniform_prevents_premature_commit(self):
+        cluster = build(uniform=True)
+        txn = run_interleaving(cluster)
+        # Under safe delivery S1 cannot deliver without S2/S3's acks, so
+        # the transaction never commits at the isolated site.
+        assert not txn.committed
+        s1_commits = set(cluster.history.commits_of("S1"))
+        majority_commits = set(cluster.history.commits_of("S2"))
+        assert s1_commits <= majority_commits
+
+    def test_non_uniform_allows_atomicity_violation(self):
+        cluster = build(uniform=False)
+        txn = run_interleaving(cluster)
+        # Plain reliable delivery: the sequencer delivered to itself and
+        # committed, but the surviving primary never saw the message.
+        assert txn.committed
+        assert "obj0" in [o for o, _ in txn.writes.items()]
+        assert cluster.nodes["S1"].db.store.value("obj0") == "phantom"
+        assert cluster.nodes["S2"].db.store.value("obj0") == 0  # never heard of it
+
+    def test_violation_counted_by_checker_inputs(self):
+        """The anomaly is visible as a commit event present only at the
+        isolated site — the measurement E9c reports."""
+        cluster = build(uniform=False)
+        txn = run_interleaving(cluster)
+        assert txn.gid is not None
+        committed_at = {e.site for e in cluster.history.events
+                        if e.kind == "commit" and e.gid == txn.gid}
+        assert committed_at == {"S1"}
+
+    def test_uniform_is_the_default(self):
+        assert GCSConfig().uniform is True

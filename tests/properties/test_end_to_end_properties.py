@@ -1,0 +1,68 @@
+"""Property-based end-to-end tests: random workloads and fault schedules
+must preserve every paper guarantee (1-copy-serializability, decision
+agreement, convergence of up-to-date replicas)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import ClusterBuilder, LoadGenerator, WorkloadConfig
+from repro.reconfig.strategies import ALL_STRATEGY_NAMES
+
+
+def drive(seed, strategy, rate, fault_plan, mode="vs", n_sites=3, db_size=40):
+    cluster = ClusterBuilder(n_sites=n_sites, db_size=db_size, seed=seed,
+                             strategy=strategy, mode=mode).build()
+    cluster.start()
+    assert cluster.await_all_active(timeout=15)
+    load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=rate, reads_per_txn=1,
+                                                 writes_per_txn=2))
+    load.start()
+    cluster.run_for(0.4)
+    for action in fault_plan:
+        victim = f"S{n_sites}"
+        if action == "crash":
+            if cluster.nodes[victim].alive:
+                cluster.crash(victim)
+        elif action == "recover":
+            if not cluster.nodes[victim].alive:
+                cluster.recover(victim)
+        elif action == "partition":
+            cluster.partition([[f"S{i+1}" for i in range(n_sites - 1)], [victim]])
+        elif action == "heal":
+            cluster.heal()
+        cluster.run_for(0.5)
+    cluster.heal()
+    if not cluster.nodes[f"S{n_sites}"].alive:
+        cluster.recover(f"S{n_sites}")
+    cluster.await_all_active(timeout=40)
+    load.stop()
+    cluster.settle(1.0)
+    cluster.check()
+    return cluster, load
+
+
+fault_plans = st.lists(
+    st.sampled_from(["crash", "recover", "partition", "heal"]), min_size=0, max_size=4
+)
+
+
+class TestEndToEnd:
+    @given(seed=st.integers(0, 10_000), rate=st.sampled_from([40.0, 120.0]))
+    @settings(max_examples=8, deadline=None, suppress_health_check=list(HealthCheck))
+    def test_faultfree_histories_serializable(self, seed, rate):
+        cluster, load = drive(seed, "rectable", rate, [])
+        assert not load.unresolved()
+
+    @given(
+        seed=st.integers(0, 10_000),
+        strategy=st.sampled_from(sorted(ALL_STRATEGY_NAMES)),
+        plan=fault_plans,
+    )
+    @settings(max_examples=10, deadline=None, suppress_health_check=list(HealthCheck))
+    def test_random_fault_schedules_keep_guarantees(self, seed, strategy, plan):
+        drive(seed, strategy, 80.0, plan)
+
+    @given(seed=st.integers(0, 10_000), plan=fault_plans)
+    @settings(max_examples=6, deadline=None, suppress_health_check=list(HealthCheck))
+    def test_evs_mode_random_faults(self, seed, plan):
+        drive(seed, "rectable", 80.0, plan, mode="evs", n_sites=5)

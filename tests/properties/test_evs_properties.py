@@ -1,0 +1,115 @@
+"""Property-based tests of the EVS structural invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.gcs.config import GCSConfig
+from repro.gcs.evs import EnrichedGroupMember
+from repro.net.latency import FixedLatency
+from repro.net.network import Network
+from repro.sim.core import Simulator
+
+
+class NullApp:
+    def on_eview_change(self, eview, reason, states, gseq=None):
+        pass
+
+    def on_message(self, sender, payload, gseq):
+        pass
+
+    def flush_state(self):
+        return {}
+
+
+def run_evs_schedule(seed, actions):
+    """Drive an EVS group through merges / partitions / crashes."""
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=FixedLatency(0.001))
+    universe = tuple(f"S{i + 1}" for i in range(4))
+    members = {
+        node: EnrichedGroupMember(sim, net, node, universe, GCSConfig(), NullApp())
+        for node in universe
+    }
+    for member in members.values():
+        member.start()
+    sim.run(until=2.0)
+    for action in actions:
+        lead = members["S1"]
+        if action == "svs_merge" and lead.alive and lead.eview is not None:
+            ids = tuple(lead.eview.subview_sets().keys())
+            if len(ids) >= 2:
+                lead.subview_set_merge(ids[:2])
+        elif action == "sv_merge" and lead.alive and lead.eview is not None:
+            ids = tuple(lead.eview.subviews().keys())
+            if len(ids) >= 2:
+                lead.subview_merge(ids[:2])
+        elif action == "part":
+            net.set_partitions([{"S1", "S2", "S3"}, {"S4"}])
+        elif action == "heal":
+            net.heal()
+        elif action == "crash":
+            if members["S4"].alive:
+                members["S4"].crash()
+        elif action == "recover":
+            if not members["S4"].alive:
+                members["S4"].start()
+        sim.run(until=sim.now + 1.0)
+    net.heal()
+    if not members["S4"].alive:
+        members["S4"].start()
+    sim.run(until=sim.now + 3.0)
+    return members
+
+
+actions_strategy = st.lists(
+    st.sampled_from(["svs_merge", "sv_merge", "part", "heal", "crash", "recover"]),
+    min_size=0, max_size=6,
+)
+
+
+def assert_structure_invariants(eview) -> None:
+    members = set(eview.members)
+    # Subviews partition the view's membership.
+    subview_union = set()
+    for nodes in eview.subviews().values():
+        assert not (subview_union & nodes), "overlapping subviews"
+        subview_union |= nodes
+    assert subview_union == members
+    # Subview-sets partition the membership too.
+    svs_union = set()
+    for nodes in eview.subview_sets().values():
+        assert not (svs_union & nodes), "overlapping subview-sets"
+        svs_union |= nodes
+    assert svs_union == members
+    # Every subview lies inside exactly one subview-set.
+    for sv_nodes in eview.subviews().values():
+        owners = {eview.subview_set_id_of(n) for n in sv_nodes}
+        assert len(owners) == 1
+    # At most one primary subview.
+    primaries = [
+        nodes for nodes in eview.subviews().values() if 2 * len(nodes) > 4
+    ]
+    assert len(primaries) <= 1
+
+
+class TestEvsInvariants:
+    @given(seed=st.integers(0, 100_000), actions=actions_strategy)
+    @settings(max_examples=15, deadline=None, suppress_health_check=list(HealthCheck))
+    def test_structure_always_partitions_the_view(self, seed, actions):
+        members = run_evs_schedule(seed, actions)
+        for member in members.values():
+            if member.alive and member.eview is not None:
+                assert_structure_invariants(member.eview)
+
+    @given(seed=st.integers(0, 100_000), actions=actions_strategy)
+    @settings(max_examples=15, deadline=None, suppress_health_check=list(HealthCheck))
+    def test_members_of_same_view_agree_on_structure(self, seed, actions):
+        members = run_evs_schedule(seed, actions)
+        by_view = {}
+        for member in members.values():
+            if member.alive and member.eview is not None:
+                by_view.setdefault(member.view.view_id, []).append(member.eview)
+        for eviews in by_view.values():
+            first = eviews[0]
+            for other in eviews[1:]:
+                assert other == first

@@ -1,0 +1,47 @@
+"""Property-based end-to-end tests under message loss: the hardest
+environment — random loss rates, random fault schedules — must still
+never violate a safety guarantee (liveness is allowed to suffer)."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import ClusterBuilder, LoadGenerator, WorkloadConfig
+from repro.checkers import (
+    check_decision_agreement,
+    check_gid_consistency,
+    check_one_copy_serializability,
+)
+
+
+@given(
+    seed=st.integers(0, 100_000),
+    loss=st.sampled_from([0.02, 0.05, 0.10]),
+    fault=st.sampled_from(["none", "crash", "partition"]),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=list(HealthCheck))
+def test_safety_under_loss(seed, loss, fault):
+    cluster = ClusterBuilder(n_sites=3, db_size=40, seed=seed, strategy="rectable",
+                             loss_rate=loss).build()
+    cluster.start()
+    if not cluster.await_all_active(timeout=20):
+        return  # liveness may suffer under loss; safety is what we check
+    load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=60, reads_per_txn=1,
+                                                 writes_per_txn=2))
+    load.start()
+    cluster.run_for(0.5)
+    if fault == "crash":
+        cluster.crash("S3")
+        cluster.run_for(0.5)
+        cluster.recover("S3")
+    elif fault == "partition":
+        cluster.partition([["S1", "S2"], ["S3"]])
+        cluster.run_for(0.8)
+        cluster.heal()
+    cluster.run_for(1.0)
+    load.stop()
+    cluster.settle(2.0)
+    # Safety only: decisions, gid binding and serializability must hold
+    # regardless of whether every site managed to rejoin in time.
+    check_gid_consistency(cluster.history)
+    check_decision_agreement(cluster.history)
+    check_one_copy_serializability(cluster.history)

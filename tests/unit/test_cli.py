@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["recover"])
+        assert args.strategy == "rectable"
+        assert args.mode == "vs"
+        assert args.downtime == 1.0
+
+    def test_strategy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["recover", "--strategy", "magic"])
+
+
+class TestCommands:
+    def test_strategies_lists_all(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("full", "version_check", "rectable", "log_filter",
+                     "lazy", "gcs_level"):
+            assert name in out
+
+    def test_demo_runs_and_checks(self, capsys):
+        assert main(["demo", "--duration", "0.5", "--db-size", "30",
+                     "--rate", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "all correctness checks passed" in out
+
+    def test_recover_reports_metrics(self, capsys):
+        assert main(["recover", "--db-size", "60", "--downtime", "0.4",
+                     "--rate", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "rejoined:        True" in out
+        assert "objects_sent" in out
+
+    def test_figure1_vs(self, capsys):
+        assert main(["figure1", "--seed", "17"]) == 0
+        out = capsys.readouterr().out
+        assert "completed:             True" in out
+
+    def test_trace_prints_timeline(self, capsys):
+        assert main(["trace", "--db-size", "40", "--downtime", "0.4",
+                     "--rate", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "transfer" in out and "recovery of S3: completed" in out

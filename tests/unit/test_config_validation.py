@@ -1,0 +1,63 @@
+"""Validation tests for the configuration objects."""
+
+import pytest
+
+from repro import ClusterBuilder, NodeConfig, WorkloadConfig
+from repro.gcs.config import GCSConfig
+
+
+class TestNodeConfig:
+    def test_defaults_valid(self):
+        NodeConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("read_op_time", -1.0),
+        ("write_op_time", -0.1),
+        ("transfer_obj_time", -0.5),
+        ("transfer_batch_size", 0),
+        ("object_size_bytes", 0),
+        ("partition_count", -1),
+        ("lazy_max_rounds", 0),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        config = NodeConfig(**{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_node_constructor_validates(self):
+        with pytest.raises(ValueError):
+            ClusterBuilder(node_config=NodeConfig(transfer_batch_size=0)).build()
+
+
+class TestWorkloadConfig:
+    def test_defaults_valid(self):
+        WorkloadConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("arrival_rate", 0.0),
+        ("arrival_rate", -5.0),
+        ("reads_per_txn", -1),
+        ("writes_per_txn", -2),
+        ("hot_fraction", 0.0),
+        ("hot_fraction", 1.5),
+        ("hot_access_probability", -0.1),
+        ("hot_access_probability", 1.1),
+        ("max_retries", -1),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        config = WorkloadConfig(**{field: value})
+        with pytest.raises(ValueError):
+            config.validate()
+
+
+class TestGCSConfig:
+    def test_defaults_valid(self):
+        GCSConfig().validate()
+
+    def test_timeout_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            GCSConfig(flush_timeout=2.0, round_timeout=1.0).validate()
+
+    def test_unknown_primary_policy_rejected_at_member(self):
+        with pytest.raises(ValueError):
+            ClusterBuilder(gcs_config=GCSConfig(primary_policy="nope")).build()

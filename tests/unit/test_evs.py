@@ -1,0 +1,194 @@
+"""Tests for the EVS layer (section 5.1): e-views, merges, fragmenting."""
+
+import pytest
+
+from repro.gcs.config import GCSConfig
+from repro.gcs.evs import EnrichedGroupMember, EView
+from repro.gcs.view import View, ViewId
+from repro.net.latency import FixedLatency
+from repro.net.network import Network
+from repro.sim.core import Simulator
+
+
+class EvsApp:
+    def __init__(self):
+        self.events = []
+        self.messages = []
+
+    def on_eview_change(self, eview, reason, states, gseq=None):
+        self.events.append((reason, eview, gseq))
+
+    def on_message(self, sender, payload, gseq):
+        self.messages.append((gseq, sender, payload))
+
+    def flush_state(self):
+        return {}
+
+
+def make_evs_group(n=4, seed=3):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=FixedLatency(0.001))
+    universe = tuple(f"S{i + 1}" for i in range(n))
+    apps = {node: EvsApp() for node in universe}
+    members = {
+        node: EnrichedGroupMember(sim, net, node, universe, GCSConfig(), apps[node])
+        for node in universe
+    }
+    for member in members.values():
+        member.start()
+    sim.run(until=2.0)
+    return sim, net, members, apps
+
+
+def bootstrap_single_subview(sim, members):
+    """Merge everyone into one subview (the steady state)."""
+    lead = members["S1"]
+    lead.subview_set_merge(tuple(lead.eview.subview_sets().keys()))
+    sim.run(until=sim.now + 0.5)
+    lead.subview_merge(tuple(lead.eview.subviews().keys()))
+    sim.run(until=sim.now + 0.5)
+
+
+class TestEViewStructure:
+    def test_boot_structure_is_all_singletons(self):
+        _, _, members, _ = make_evs_group(3)
+        eview = members["S1"].eview
+        assert len(eview.subviews()) == 3
+        assert len(eview.subview_sets()) == 3
+
+    def test_eview_agreement_across_members(self):
+        _, _, members, _ = make_evs_group(3)
+        eviews = [m.eview for m in members.values()]
+        assert eviews[0] == eviews[1] == eviews[2]
+
+    def test_no_primary_subview_initially(self):
+        _, _, members, _ = make_evs_group(3)
+        assert members["S1"].eview.primary_subview(3) is None
+        assert not members["S1"].in_primary_subview()
+
+    def test_subview_queries(self):
+        view = View(ViewId(1, "S1"), ("S1", "S2", "S3"))
+        sv = {"S1": "a", "S2": "a", "S3": "b"}
+        svs = {"S1": "x", "S2": "x", "S3": "x"}
+        eview = EView(view, sv, svs)
+        assert eview.subview_of("S1") == {"S1", "S2"}
+        assert eview.subview_set_of("S3") == {"S1", "S2", "S3"}
+        assert eview.primary_subview(3) == {"S1", "S2"}
+
+
+class TestMergePrimitives:
+    def test_subview_set_merge_unifies_sets(self):
+        sim, _, members, _ = make_evs_group(3)
+        lead = members["S1"]
+        lead.subview_set_merge(tuple(lead.eview.subview_sets().keys()))
+        sim.run(until=sim.now + 0.5)
+        assert len(members["S2"].eview.subview_sets()) == 1
+        assert len(members["S2"].eview.subviews()) == 3  # subviews untouched
+
+    def test_subview_merge_requires_same_subview_set(self):
+        sim, _, members, _ = make_evs_group(3)
+        lead = members["S1"]
+        targets = tuple(lead.eview.subviews().keys())
+        lead.subview_merge(targets)  # different subview-sets: must no-op
+        sim.run(until=sim.now + 0.5)
+        assert len(members["S2"].eview.subviews()) == 3
+
+    def test_full_bootstrap_creates_primary_subview(self):
+        sim, _, members, _ = make_evs_group(3)
+        bootstrap_single_subview(sim, members)
+        assert all(m.in_primary_subview() for m in members.values())
+
+    def test_merge_events_totally_ordered_with_messages(self):
+        sim, _, members, apps = make_evs_group(3)
+        lead = members["S1"]
+        lead.multicast("before")
+        lead.subview_set_merge(tuple(lead.eview.subview_sets().keys()))
+        lead.multicast("after")
+        sim.run(until=sim.now + 0.5)
+        app = apps["S3"]
+        merge_gseq = next(g for r, _, g in app.events if r == "subview_set_merge")
+        gseq_of = {p: g for g, _, p in app.messages}
+        assert gseq_of["before"] < merge_gseq < gseq_of["after"]
+
+    def test_stale_merge_request_is_noop(self):
+        sim, _, members, apps = make_evs_group(3)
+        lead = members["S1"]
+        old_ids = tuple(lead.eview.subview_sets().keys())
+        lead.subview_set_merge(old_ids)
+        sim.run(until=sim.now + 0.5)
+        events_before = len(apps["S2"].events)
+        lead.subview_set_merge(old_ids)  # ids no longer exist
+        sim.run(until=sim.now + 0.5)
+        assert len(apps["S2"].events) == events_before
+
+    def test_merge_ids_deterministic_across_members(self):
+        sim, _, members, _ = make_evs_group(3)
+        bootstrap_single_subview(sim, members)
+        ids = {m.eview.subview_id_of("S1") for m in members.values()}
+        assert len(ids) == 1
+
+
+class TestFragmenting:
+    def test_partition_fragments_subview(self):
+        sim, net, members, _ = make_evs_group(4)
+        bootstrap_single_subview(sim, members)
+        net.set_partitions([{"S1", "S2", "S3"}, {"S4"}])
+        sim.run(until=sim.now + 2.0)
+        assert members["S1"].eview.subview_of("S1") == {"S1", "S2", "S3"}
+        assert members["S4"].eview.subview_of("S4") == {"S4"}
+
+    def test_reentering_node_is_own_subview_and_set(self):
+        """Figure 2's key property: S4 re-enters in its own subview and
+        subview-set, *not* silently back in the primary subview."""
+        sim, net, members, _ = make_evs_group(4)
+        bootstrap_single_subview(sim, members)
+        net.set_partitions([{"S1", "S2", "S3"}, {"S4"}])
+        sim.run(until=sim.now + 2.0)
+        net.heal()
+        sim.run(until=sim.now + 3.0)
+        eview = members["S1"].eview
+        assert len(eview.view) == 4
+        assert eview.subview_of("S4") == {"S4"}
+        assert eview.subview_set_of("S4") == {"S4"}
+        assert eview.subview_of("S1") == {"S1", "S2", "S3"}
+        assert members["S1"].in_primary_subview()
+        assert not members["S4"].in_primary_subview()
+
+    def test_structure_survives_benign_view_change(self):
+        sim, net, members, _ = make_evs_group(4)
+        bootstrap_single_subview(sim, members)
+        members["S4"].crash()
+        sim.run(until=sim.now + 2.0)
+        eview = members["S1"].eview
+        assert eview.subview_of("S1") == {"S1", "S2", "S3"}
+        assert members["S1"].in_primary_subview()
+
+    def test_crashed_node_restarts_as_singleton(self):
+        sim, net, members, _ = make_evs_group(4)
+        bootstrap_single_subview(sim, members)
+        members["S4"].crash()
+        sim.run(until=sim.now + 2.0)
+        members["S4"].start()
+        sim.run(until=sim.now + 3.0)
+        eview = members["S1"].eview
+        assert eview.subview_of("S4") == {"S4"}
+        assert not members["S4"].in_primary_subview()
+
+    def test_reconciliation_merges_rejoiner_back(self):
+        sim, net, members, _ = make_evs_group(4)
+        bootstrap_single_subview(sim, members)
+        net.set_partitions([{"S1", "S2", "S3"}, {"S4"}])
+        sim.run(until=sim.now + 2.0)
+        net.heal()
+        sim.run(until=sim.now + 3.0)
+        lead = members["S1"]
+        eview = lead.eview
+        lead.subview_set_merge(
+            (eview.subview_set_id_of("S1"), eview.subview_set_id_of("S4"))
+        )
+        sim.run(until=sim.now + 0.5)
+        eview = lead.eview
+        lead.subview_merge((eview.subview_id_of("S1"), eview.subview_id_of("S4")))
+        sim.run(until=sim.now + 0.5)
+        assert members["S4"].in_primary_subview()
+        assert all(m.eview == lead.eview for m in members.values())

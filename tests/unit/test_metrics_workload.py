@@ -1,0 +1,72 @@
+"""Unit tests for metrics helpers and the workload generator config."""
+
+from repro.checkers import HistoryRecorder
+from repro.replication.messages import TransactionMessage
+from repro.workload.metrics import ThroughputTimeline, summarize_latencies
+
+
+def message(i):
+    return TransactionMessage(origin="S1", local_id=f"t{i}", read_set=(), write_set=())
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        summary = summarize_latencies([])
+        assert summary.count == 0 and summary.mean == 0.0
+
+    def test_single_value(self):
+        summary = summarize_latencies([0.5])
+        assert summary.count == 1
+        assert summary.mean == summary.p50 == summary.p95 == summary.maximum == 0.5
+
+    def test_percentiles_ordered(self):
+        summary = summarize_latencies([float(i) for i in range(100)])
+        assert summary.p50 <= summary.p95 <= summary.maximum
+        assert summary.p50 == 50.0
+        assert summary.maximum == 99.0
+
+    def test_mean(self):
+        assert summarize_latencies([1.0, 3.0]).mean == 2.0
+
+
+class TestThroughputTimeline:
+    def make_history(self, times_gids):
+        clock = {"t": 0.0}
+        history = HistoryRecorder(clock=lambda: clock["t"])
+        for t, gid in times_gids:
+            clock["t"] = t
+            history.record("S1", "commit", gid, message(gid))
+        return history
+
+    def test_bucketing(self):
+        history = self.make_history([(0.05, 0), (0.07, 1), (0.25, 2)])
+        series = ThroughputTimeline(history, bucket=0.1).series()
+        assert series[0] == (0.0, 2)
+        assert series[2] == (0.2, 1)
+
+    def test_gid_dedup_across_sites(self):
+        clock = {"t": 0.05}
+        history = HistoryRecorder(clock=lambda: clock["t"])
+        history.record("S1", "commit", 0, message(0))
+        history.record("S2", "commit", 0, message(0))
+        series = ThroughputTimeline(history, bucket=0.1).series()
+        assert series[0] == (0.0, 1)
+
+    def test_site_filter(self):
+        clock = {"t": 0.05}
+        history = HistoryRecorder(clock=lambda: clock["t"])
+        history.record("S1", "commit", 0, message(0))
+        history.record("S2", "commit", 1, message(1))
+        series = ThroughputTimeline(history, bucket=0.1).series(site="S2")
+        assert series[0] == (0.0, 1)
+
+    def test_empty_history(self):
+        history = HistoryRecorder()
+        assert ThroughputTimeline(history).series() == []
+
+    def test_min_bucket_between(self):
+        history = self.make_history([(0.05, 0), (0.15, 1), (0.17, 2), (0.35, 3)])
+        timeline = ThroughputTimeline(history, bucket=0.1)
+        # window [0, 0.4): buckets 0:1, 1:2, 2:0, 3:1 -> min 0
+        assert timeline.min_bucket_between(0.0, 0.4) == 0
+        assert timeline.min_bucket_between(0.0, 0.2) == 1

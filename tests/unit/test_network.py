@@ -1,0 +1,194 @@
+"""Unit tests for the network substrate."""
+
+import pytest
+
+from repro.net.latency import FixedLatency, UniformLatency
+from repro.net.network import Network
+from repro.sim.core import Simulator
+
+
+def make_net(seed=1, latency=0.001, loss=0.0):
+    sim = Simulator(seed=seed)
+    net = Network(sim, latency=FixedLatency(latency), loss_rate=loss)
+    return sim, net
+
+
+def attach(net, node):
+    inbox = []
+    endpoint = net.endpoint(node)
+    endpoint.attach(lambda src, payload: inbox.append((src, payload)))
+    net.bring_up(node)
+    return endpoint, inbox
+
+
+class TestLatencyModels:
+    def test_fixed(self):
+        sim = Simulator()
+        assert FixedLatency(0.5).sample(sim.rng) == 0.5
+
+    def test_fixed_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedLatency(-1)
+
+    def test_uniform_in_range(self):
+        sim = Simulator(seed=3)
+        model = UniformLatency(0.001, 0.005)
+        for _ in range(100):
+            value = model.sample(sim.rng)
+            assert 0.001 <= value <= 0.005
+
+    def test_uniform_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+
+
+class TestDelivery:
+    def test_basic_delivery_with_latency(self):
+        sim, net = make_net(latency=0.25)
+        _, inbox = attach(net, "B")
+        attach(net, "A")
+        net.send("A", "B", "hello")
+        sim.run()
+        assert inbox == [("A", "hello")]
+        assert sim.now == 0.25
+
+    def test_send_from_down_node_dropped(self):
+        sim, net = make_net()
+        _, inbox = attach(net, "B")
+        net.endpoint("A")  # never brought up
+        net.send("A", "B", "x")
+        sim.run()
+        assert inbox == []
+
+    def test_send_to_down_node_dropped(self):
+        sim, net = make_net()
+        attach(net, "A")
+        endpoint_b, inbox = attach(net, "B")
+        net.take_down("B")
+        net.send("A", "B", "x")
+        sim.run()
+        assert inbox == []
+        assert net.messages_dropped == 1
+
+    def test_crash_while_in_flight_drops(self):
+        sim, net = make_net(latency=1.0)
+        attach(net, "A")
+        _, inbox = attach(net, "B")
+        net.send("A", "B", "x")
+        sim.schedule(0.5, net.take_down, "B")
+        sim.run()
+        assert inbox == []
+
+    def test_unknown_destination_dropped(self):
+        sim, net = make_net()
+        attach(net, "A")
+        net.send("A", "nowhere", "x")
+        sim.run()
+        assert net.messages_dropped == 1
+
+    def test_loss_rate_drops_some(self):
+        sim, net = make_net(seed=5, loss=0.5)
+        attach(net, "A")
+        _, inbox = attach(net, "B")
+        for _ in range(200):
+            net.send("A", "B", "x")
+        sim.run()
+        assert 40 < len(inbox) < 160
+
+    def test_loss_rate_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Network(sim, loss_rate=1.0)
+
+    def test_send_many(self):
+        sim, net = make_net()
+        endpoint, _ = attach(net, "A")
+        _, inbox_b = attach(net, "B")
+        _, inbox_c = attach(net, "C")
+        endpoint.send_many(["B", "C"], "m")
+        sim.run()
+        assert inbox_b == [("A", "m")] and inbox_c == [("A", "m")]
+
+    def test_message_counters(self):
+        sim, net = make_net()
+        endpoint_a, _ = attach(net, "A")
+        endpoint_b, inbox = attach(net, "B")
+        net.send("A", "B", 1)
+        sim.run()
+        assert endpoint_a.messages_sent == 1
+        assert endpoint_b.messages_received == 1
+        assert net.messages_delivered == 1
+
+    def test_tap_observes_deliveries(self):
+        sim, net = make_net()
+        attach(net, "A")
+        attach(net, "B")
+        seen = []
+        net.add_tap(lambda src, dst, payload: seen.append((src, dst, payload)))
+        net.send("A", "B", 7)
+        sim.run()
+        assert seen == [("A", "B", 7)]
+
+
+class TestPartitions:
+    def test_partition_blocks_cross_component(self):
+        sim, net = make_net()
+        attach(net, "A")
+        _, inbox_b = attach(net, "B")
+        _, inbox_c = attach(net, "C")
+        net.set_partitions([{"A", "B"}, {"C"}])
+        net.send("A", "B", "in")
+        net.send("A", "C", "out")
+        sim.run()
+        assert inbox_b == [("A", "in")]
+        assert inbox_c == []
+
+    def test_partition_while_in_flight_drops(self):
+        sim, net = make_net(latency=1.0)
+        attach(net, "A")
+        _, inbox = attach(net, "B")
+        net.send("A", "B", "x")
+        sim.schedule(0.5, net.set_partitions, [{"A"}, {"B"}])
+        sim.run()
+        assert inbox == []
+
+    def test_heal_restores_connectivity(self):
+        sim, net = make_net()
+        attach(net, "A")
+        _, inbox = attach(net, "B")
+        net.set_partitions([{"A"}, {"B"}])
+        net.heal()
+        net.send("A", "B", "x")
+        sim.run()
+        assert inbox == [("A", "x")]
+
+    def test_node_in_two_groups_rejected(self):
+        sim, net = make_net()
+        attach(net, "A")
+        with pytest.raises(ValueError):
+            net.set_partitions([{"A"}, {"A"}])
+
+    def test_unlisted_nodes_become_isolated(self):
+        sim, net = make_net()
+        attach(net, "A")
+        attach(net, "B")
+        _, inbox_c = attach(net, "C")
+        net.set_partitions([{"A", "B"}])
+        net.send("A", "C", "x")
+        sim.run()
+        assert inbox_c == []
+
+    def test_reachable_self_always(self):
+        sim, net = make_net()
+        attach(net, "A")
+        net.set_partitions([{"A"}])
+        assert net.reachable("A", "A")
+
+    def test_components_listing(self):
+        sim, net = make_net()
+        for node in ("A", "B", "C"):
+            attach(net, node)
+        net.set_partitions([{"A", "B"}, {"C"}])
+        components = net.components()
+        assert {"A", "B"} in components
+        assert {"C"} in components

@@ -1,0 +1,86 @@
+"""Unit tests for the RecTable (section 4.5)."""
+
+from repro.db.rectable import RecTable
+
+
+class TestRegistration:
+    def test_register_is_deferred_until_flush(self):
+        table = RecTable()
+        table.register("a", 5)
+        assert "a" not in table
+        assert table.pending_count == 1
+        table.flush_pending()
+        assert "a" in table and table.last_writer("a") == 5
+
+    def test_flush_limit(self):
+        table = RecTable()
+        for i in range(10):
+            table.register(f"o{i}", i)
+        applied = table.flush_pending(limit=4)
+        assert applied == 4 and table.pending_count == 6
+
+    def test_ensure_current_drains_everything(self):
+        table = RecTable()
+        for i in range(10):
+            table.register(f"o{i}", i)
+        table.ensure_current()
+        assert table.pending_count == 0 and len(table) == 10
+
+    def test_newer_gid_wins(self):
+        table = RecTable()
+        table.register("a", 3)
+        table.register("a", 7)
+        table.ensure_current()
+        assert table.last_writer("a") == 7
+
+    def test_stale_registration_ignored(self):
+        table = RecTable()
+        table.register("a", 7)
+        table.ensure_current()
+        table.register("a", 3)  # out-of-order background apply
+        table.ensure_current()
+        assert table.last_writer("a") == 7
+
+
+class TestQueries:
+    def test_changed_since(self):
+        table = RecTable()
+        table.register("a", 3)
+        table.register("b", 8)
+        table.ensure_current()
+        assert table.changed_since(5) == {"b": 8}
+        assert table.changed_since(2) == {"a": 3, "b": 8}
+        assert table.changed_since(8) == {}
+
+    def test_changed_since_minus_infinity_returns_all(self):
+        table = RecTable()
+        table.register("a", 0)
+        table.ensure_current()
+        assert table.changed_since(-(2**60)) == {"a": 0}
+
+
+class TestPurge:
+    def test_purge_below_min_cover(self):
+        table = RecTable()
+        table.register("a", 3)
+        table.register("b", 8)
+        table.ensure_current()
+        removed = table.purge(5)
+        assert removed == 1
+        assert "a" not in table and "b" in table
+
+    def test_purge_keeps_equal_boundary_out(self):
+        table = RecTable()
+        table.register("a", 5)
+        table.ensure_current()
+        table.purge(5)  # gid <= min cover is deletable
+        assert "a" not in table
+
+    def test_counters(self):
+        table = RecTable()
+        table.register("a", 1)
+        table.ensure_current()
+        table.purge(10)
+        assert table.registrations == 1
+        assert table.deletions == 1
+        assert table.flushes == 1

@@ -1,0 +1,261 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.core import Event, SimulationError, Simulator
+from repro.sim.process import Process, Timer
+
+
+class TestSimulator:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_schedule_and_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(0.5, fired.append, "b")
+        sim.run()
+        assert fired == ["b", "a"]
+        assert sim.now == 1.0
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(3.0, fired.append, 2)
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+        sim.run(until=4.0)
+        assert fired == [1, 2]
+
+    def test_ties_broken_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        sim.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, fired.append, "later"))
+        sim.run()
+        assert fired == ["later"]
+        assert sim.now == 5.0
+
+    def test_call_soon_runs_after_pending_same_time_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.0, fired.append, 1)
+        sim.call_soon(fired.append, 2)
+        sim.run()
+        assert fired == [1, 2]
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+    def test_step_processes_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(2.0, fired.append, "b")
+        assert sim.step()
+        assert fired == ["a"]
+        assert sim.step()
+        assert not sim.step()
+
+    def test_pending_count_excludes_cancelled(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        event = sim.schedule(2.0, lambda: None)
+        event.cancel()
+        assert sim.pending == 1
+
+    def test_next_event_time(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.next_event_time() == 1.0
+        first.cancel()
+        assert sim.next_event_time() == 2.0
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i), fired.append, i)
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_run_until_idle_raises_on_livelock(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(SimulationError):
+            sim.run_until_idle(max_events=100)
+
+    def test_seeded_rng_is_deterministic(self):
+        a = Simulator(seed=7).rng.random()
+        b = Simulator(seed=7).rng.random()
+        assert a == b
+
+    def test_trace_hook_sees_events(self):
+        sim = Simulator()
+        seen = []
+        sim.add_trace_hook(lambda e: seen.append(e.time))
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert seen == [1.0]
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(0.0, nested)
+        sim.run()
+        assert len(errors) == 1
+
+
+class TestTimer:
+    def test_fires_after_interval(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run()
+        assert fired == [1.0]
+
+    def test_restart_pushes_deadline(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(0.5, timer.restart)
+        sim.run()
+        assert fired == [1.5]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 1.0, lambda: fired.append(1))
+        timer.start()
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_start_is_noop_when_armed(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.schedule(0.5, timer.start)  # should not re-arm
+        sim.run()
+        assert fired == [1.0]
+
+    def test_armed_property(self):
+        sim = Simulator()
+        timer = Timer(sim, 1.0, lambda: None)
+        assert not timer.armed
+        timer.start()
+        assert timer.armed
+        sim.run()
+        assert not timer.armed
+
+
+class TestProcess:
+    def test_after_runs_while_alive(self):
+        sim = Simulator()
+        proc = Process(sim)
+        proc.start()
+        fired = []
+        proc.after(1.0, fired.append, "x")
+        sim.run()
+        assert fired == ["x"]
+
+    def test_stop_cancels_scheduled_work(self):
+        sim = Simulator()
+        proc = Process(sim)
+        proc.start()
+        fired = []
+        proc.after(1.0, fired.append, "x")
+        proc.stop()
+        sim.run()
+        assert fired == []
+
+    def test_stopped_process_skips_guarded_calls(self):
+        sim = Simulator()
+        proc = Process(sim)
+        proc.start()
+        fired = []
+        proc.after(1.0, fired.append, "x")
+        sim.schedule(0.5, setattr, proc, "alive", False)
+        sim.run()
+        assert fired == []
+
+    def test_every_repeats_until_stop(self):
+        sim = Simulator()
+        proc = Process(sim)
+        proc.start()
+        fired = []
+        proc.every(1.0, lambda: fired.append(sim.now))
+        sim.schedule(3.5, proc.stop)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_restart_after_stop(self):
+        sim = Simulator()
+        proc = Process(sim)
+        proc.start()
+        proc.stop()
+        proc.start()
+        fired = []
+        proc.after(1.0, fired.append, 1)
+        sim.run()
+        assert fired == [1]

@@ -1,0 +1,113 @@
+"""Tests for the stale-view protections (the paper's section 2.1 "thin
+software layer": concurrent views must not overlap, and a site whose
+view the group abandoned must not act as an up-to-date primary member).
+"""
+
+from repro.gcs.config import GCSConfig
+from repro.gcs.messages import Presence
+from repro.gcs.view import View, ViewId
+from tests.conftest import make_group
+
+
+class TestDemotion:
+    def test_majority_defection_demotes(self):
+        sim, net, members, _ = make_group(3, seed=1)
+        sim.run(until=2.0)
+        victim = members["S3"]
+        assert victim.is_primary()
+        # S1 and S2 claim a higher-epoch view that excludes S3.
+        newer = ViewId(victim.view.view_id.epoch + 1, "S1")
+        for sender in ("S1", "S2"):
+            victim.fd.on_presence(Presence(sender=sender, view_id=newer,
+                                           view_members=("S1", "S2"),
+                                           epoch=newer.epoch))
+        victim._check_stale_view()
+        assert not victim.is_primary()
+
+    def test_single_defector_does_not_demote_in_three_view(self):
+        sim, net, members, _ = make_group(3, seed=1)
+        sim.run(until=2.0)
+        victim = members["S3"]
+        newer = ViewId(victim.view.view_id.epoch + 1, "S1")
+        victim.fd.on_presence(Presence(sender="S1", view_id=newer,
+                                       view_members=("S1", "S2"), epoch=newer.epoch))
+        victim._check_stale_view()
+        assert victim.is_primary()
+
+    def test_claims_including_me_do_not_count(self):
+        """The normal in-flight-SYNC window: peers already installed the
+        next view but it contains me — no demotion."""
+        sim, net, members, _ = make_group(3, seed=1)
+        sim.run(until=2.0)
+        victim = members["S3"]
+        newer = ViewId(victim.view.view_id.epoch + 1, "S1")
+        for sender in ("S1", "S2"):
+            victim.fd.on_presence(Presence(sender=sender, view_id=newer,
+                                           view_members=("S1", "S2", "S3"),
+                                           epoch=newer.epoch))
+        victim._check_stale_view()
+        assert victim.is_primary()
+
+    def test_older_epoch_claims_do_not_count(self):
+        sim, net, members, _ = make_group(3, seed=1)
+        sim.run(until=2.0)
+        victim = members["S3"]
+        older = ViewId(victim.view.view_id.epoch - 1, "S1")
+        for sender in ("S1", "S2"):
+            victim.fd.on_presence(Presence(sender=sender, view_id=older,
+                                           view_members=("S1", "S2"), epoch=older.epoch))
+        victim._check_stale_view()
+        assert victim.is_primary()
+
+    def test_demotion_notifies_application(self):
+        calls = []
+
+        sim, net, members, apps = make_group(3, seed=1)
+        sim.run(until=2.0)
+        victim = members["S3"]
+        victim.app.on_primary_demoted = lambda: calls.append(True)
+        newer = ViewId(victim.view.view_id.epoch + 1, "S1")
+        for sender in ("S1", "S2"):
+            victim.fd.on_presence(Presence(sender=sender, view_id=newer,
+                                           view_members=("S1", "S2"), epoch=newer.epoch))
+        victim._check_stale_view()
+        assert calls == [True]
+
+
+class TestGapDetection:
+    def test_install_records_missed_gseqs(self):
+        sim, net, members, _ = make_group(3, seed=1)
+        sim.run(until=2.0)
+        member = members["S2"]
+        # Install a view whose base is beyond what we delivered.
+        next_before = member.to.next_gseq
+        view = View(ViewId(member.view.view_id.epoch + 1, "S1"),
+                    ("S1", "S2", "S3"))
+        member.install_view(view, next_before + 7, {})
+        assert member.last_install_missed == 7
+
+    def test_gap_free_install_records_zero(self):
+        sim, net, members, _ = make_group(3, seed=1)
+        sim.run(until=2.0)
+        member = members["S2"]
+        view = View(ViewId(member.view.view_id.epoch + 1, "S1"),
+                    ("S1", "S2", "S3"))
+        member.install_view(view, member.to.next_gseq, {})
+        assert member.last_install_missed == 0
+
+    def test_stale_member_marked_in_sync(self):
+        """End to end: a member that misses messages and re-merges is
+        listed in the SYNC's stale set at every installer."""
+        sim, net, members, apps = make_group(3, seed=4)
+        sim.run(until=2.0)
+        # Isolate S3; majority delivers messages it never sees.
+        net.set_partitions([{"S1", "S2"}, {"S3"}])
+        sim.run(until=4.0)
+        members["S1"].multicast("hidden-1")
+        members["S1"].multicast("hidden-2")
+        sim.run(until=5.0)
+        net.heal()
+        sim.run(until=8.0)
+        assert len(members["S1"].view) == 3
+        assert "S3" in members["S1"].stale_members
+        assert members["S3"].last_install_missed >= 2

@@ -1,0 +1,94 @@
+"""Tests for the tracing subsystem."""
+
+import pytest
+
+from repro.tracing import TraceEvent, Tracer, attach_tracer
+from repro.replication.node import SiteStatus
+from tests.conftest import quick_cluster
+
+
+class TestTracer:
+    def test_emit_and_query(self):
+        now = {"t": 1.0}
+        tracer = Tracer(clock=lambda: now["t"])
+        tracer.emit("S1", "view", "install", "v1")
+        now["t"] = 2.0
+        tracer.emit("S2", "status", "active")
+        assert len(tracer.events) == 2
+        assert tracer.of("view") == [TraceEvent(1.0, "S1", "view", "install", "v1")]
+        assert tracer.of(site="S2")[0].kind == "active"
+        assert tracer.kinds("status") == ["active"]
+
+    def test_between(self):
+        now = {"t": 0.0}
+        tracer = Tracer(clock=lambda: now["t"])
+        for t in (0.5, 1.5, 2.5):
+            now["t"] = t
+            tracer.emit("S1", "txn", f"at{t}")
+        assert [e.kind for e in tracer.between(1.0, 2.0)] == ["at1.5"]
+
+    def test_disabled_tracer_collects_nothing(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.enabled = False
+        tracer.emit("S1", "view", "install")
+        assert tracer.events == []
+
+    def test_assert_order_passes(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.emit("S1", "transfer", "start")
+        tracer.emit("S1", "transfer", "complete")
+        tracer.assert_order(("transfer", "start"), ("transfer", "complete"))
+
+    def test_assert_order_fails(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.emit("S1", "transfer", "complete")
+        with pytest.raises(AssertionError):
+            tracer.assert_order(("transfer", "start"), ("transfer", "complete"))
+
+    def test_timeline_renders(self):
+        tracer = Tracer(clock=lambda: 1.25)
+        tracer.emit("S1", "view", "install", "v")
+        assert "S1" in tracer.timeline()
+        assert tracer.timeline(limit=1).count("\n") == 0
+
+
+class TestAttachedTracer:
+    def test_recovery_produces_expected_sequence(self):
+        cluster = quick_cluster(db_size=30)
+        tracer = attach_tracer(cluster)
+        cluster.crash("S3")
+        cluster.submit_via("S1", [], {"obj0": 1})
+        cluster.settle(0.3)
+        cluster.recover("S3")
+        assert cluster.await_condition(
+            lambda: cluster.nodes["S3"].status is SiteStatus.ACTIVE, timeout=30
+        )
+        cluster.settle(0.3)
+        tracer.assert_order(
+            ("transfer", "start"),
+            ("transfer", "complete"),
+            ("status", "active"),
+        )
+        assert any(e.site == "S3" and e.kind == "recovering"
+                   for e in tracer.of("status"))
+
+    def test_evs_run_traces_merges(self):
+        cluster = quick_cluster(mode="evs", n_sites=5, db_size=30)
+        tracer = attach_tracer(cluster)
+        cluster.crash("S5")
+        cluster.run_for(0.5)
+        cluster.recover("S5")
+        assert cluster.await_all_active(timeout=30)
+        kinds = tracer.kinds("eview")
+        assert "subview_set_merge" in kinds and "subview_merge" in kinds
+
+    def test_creation_traced(self):
+        cluster = quick_cluster(db_size=20)
+        tracer = attach_tracer(cluster)
+        for site in cluster.universe:
+            cluster.crash(site)
+        cluster.run_for(0.3)
+        for site in cluster.universe:
+            cluster.recover(site)
+        assert cluster.await_all_active(timeout=30)
+        assert tracer.of("creation")
