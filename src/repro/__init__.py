@@ -18,6 +18,9 @@ The package provides, from the bottom up:
   synchrony and under EVS, and the creation protocol for total failures.
 * :mod:`repro.cluster` / :mod:`repro.workload` — an experiment harness:
   cluster builder, fault injection, load generation and metrics.
+* :mod:`repro.faults` — fault injection: network injectors (duplication,
+  reordering, one-way degradation, latency spikes), torn-WAL storage
+  faults, and the seeded randomized chaos engine.
 * :mod:`repro.checkers` — global correctness checkers
   (1-copy-serializability, atomicity, convergence, view synchrony).
 
@@ -34,6 +37,18 @@ Quick start::
 """
 
 from repro.cluster import Cluster, ClusterBuilder, FaultEvent, FaultSchedule
+from repro.faults import (
+    ChaosConfig,
+    ChaosEngine,
+    ChaosReport,
+    DuplicateInjector,
+    FaultInjector,
+    LatencySpikeInjector,
+    OneWayLinkInjector,
+    ReorderInjector,
+    TornTailFaults,
+    run_chaos,
+)
 from repro.gcs.config import GCSConfig
 from repro.reconfig.strategies import (
     FullTransferStrategy,
@@ -52,12 +67,21 @@ from repro.workload.generator import LoadGenerator, WorkloadConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosReport",
     "Cluster",
     "ClusterBuilder",
+    "DuplicateInjector",
     "FaultEvent",
+    "FaultInjector",
     "FaultSchedule",
     "FullTransferStrategy",
     "GCSConfig",
+    "LatencySpikeInjector",
+    "OneWayLinkInjector",
+    "ReorderInjector",
+    "TornTailFaults",
     "GcsLevelTransferStrategy",
     "LazyTransferStrategy",
     "LoadGenerator",
@@ -72,5 +96,6 @@ __all__ = [
     "WorkloadConfig",
     "__version__",
     "attach_tracer",
+    "run_chaos",
     "strategy_by_name",
 ]

@@ -139,6 +139,28 @@ def check_convergence(nodes) -> None:
         raise ConsistencyViolation(f"replica divergence among up-to-date sites: {detail}")
 
 
+def check_view_synchrony(nodes) -> None:
+    """Any two sites that installed a view with the same identifier agree
+    on its membership — the heart of the virtual-synchrony contract the
+    replica control protocol builds on (section 2.1).
+
+    Checked over each member's full installation history, so a violation
+    is caught even if later views diverge back into agreement.
+    """
+    seen: Dict[Any, Tuple[str, Tuple[str, ...]]] = {}
+    for node in nodes:
+        for view in node.member.views_installed:
+            previous = seen.get(view.view_id)
+            if previous is None:
+                seen[view.view_id] = (node.site_id, view.members)
+            elif previous[1] != view.members:
+                raise ConsistencyViolation(
+                    f"view {view.view_id} installed with members "
+                    f"{previous[1]} at {previous[0]} but {view.members} "
+                    f"at {node.site_id}"
+                )
+
+
 def check_atomicity_durability(history: HistoryRecorder, nodes) -> None:
     """Every committed transaction's writes are present (at that or a
     newer version) at every up-to-date site."""
@@ -168,5 +190,6 @@ def run_all_checks(history: HistoryRecorder, nodes) -> None:
     check_processing_order(history)
     check_decision_agreement(history)
     check_one_copy_serializability(history)
+    check_view_synchrony(nodes)
     check_convergence(nodes)
     check_atomicity_durability(history, nodes)

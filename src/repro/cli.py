@@ -7,6 +7,7 @@ Usage::
     python -m repro recover --strategy lazy --db-size 500 --downtime 1.0
     python -m repro figure1 --mode evs           # the cascading scenario
     python -m repro trace --mode evs             # recovery with a timeline
+    python -m repro chaos --seed 3 --intensity 0.5   # randomized fault storm
 
 Every command runs a deterministic simulation and prints its results;
 pass ``--seed`` to vary the run.
@@ -123,6 +124,29 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import ChaosConfig, ChaosEngine
+
+    config = ChaosConfig(
+        seed=args.seed, intensity=args.intensity, n_sites=args.sites,
+        db_size=args.db_size, duration=args.duration, mode=args.mode,
+        strategy=args.strategy, arrival_rate=args.rate,
+    )
+    report = ChaosEngine(config).run()
+    if args.timeline and report.tracer is not None:
+        print(report.tracer.timeline())
+        print()
+    for time, action, detail in report.events:
+        print(f"{time:8.3f}  chaos  {action:14s} {detail}")
+    print()
+    print(report.summary())
+    if report.ok:
+        print("all correctness checks passed")
+    else:
+        print(f"FAILURE: {report.error}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -161,6 +185,18 @@ def build_parser() -> argparse.ArgumentParser:
     common(trace)
     trace.add_argument("--downtime", type=float, default=0.8)
     trace.set_defaults(fn=_cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded randomized fault storm + full invariant check"
+    )
+    common(chaos)
+    chaos.set_defaults(sites=4, db_size=40, rate=60.0)
+    chaos.add_argument("--intensity", type=float, default=0.5,
+                       help="fault event rate scale in [0, 1] (default 0.5)")
+    chaos.add_argument("--duration", type=float, default=3.0)
+    chaos.add_argument("--timeline", action="store_true",
+                       help="also print the full trace timeline")
+    chaos.set_defaults(fn=_cmd_chaos)
 
     return parser
 

@@ -194,7 +194,10 @@ class Cluster:
 
     def apply_fault_schedule(self, schedule: FaultSchedule) -> None:
         self._fault_schedule = schedule
-        for event in schedule.events:
+        # The fluent builders append without re-sorting, so the events
+        # list may be out of time order; schedule_at with a past time
+        # would fire immediately and reorder the scripted faults.
+        for event in sorted(schedule.events, key=lambda e: e.time):
             if event.action == "crash":
                 self.sim.schedule_at(event.time, self.crash, event.target)
             elif event.action == "recover":
@@ -219,6 +222,28 @@ class Cluster:
 
     def heal(self) -> None:
         self.network.heal()
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def add_injector(self, injector) -> Any:
+        """Install a network fault injector (see repro.faults.injectors)."""
+        return self.network.add_injector(injector)
+
+    def remove_injector(self, injector) -> None:
+        self.network.remove_injector(injector)
+
+    def clear_injectors(self) -> None:
+        self.network.clear_injectors()
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        self.network.set_loss_rate(loss_rate)
+
+    def install_storage_faults(self, model, sites: Optional[Sequence[str]] = None) -> None:
+        """Attach a crash-time storage fault model (e.g. TornTailFaults)
+        to the given sites (default: all)."""
+        for site in sites or self.universe:
+            self.nodes[site].storage_faults = model
 
     # ------------------------------------------------------------------
     # Driving the simulation
@@ -288,6 +313,7 @@ class Cluster:
         views = 0
         transfers_started = transfers_completed = 0
         objects_sent = bytes_sent = replayed = announcements = 0
+        transfer_stalls = transfer_failovers = solicits = 0
         for node in self.nodes.values():
             lock_wait += sum(node.db.locks.wait_times)
             views = max(views, len(node.member.views_installed))
@@ -298,6 +324,9 @@ class Cluster:
             bytes_sent += manager.bytes_sent_total
             replayed += manager.replayed_transactions
             announcements += manager.announcements_sent
+            transfer_stalls += manager.transfer_stalls
+            transfer_failovers += manager.transfer_failovers
+            solicits += manager.solicits_sent
         return {
             "virtual_time": self.sim.now,
             "commits": len(commits),
@@ -312,6 +341,10 @@ class Cluster:
             "announcements": announcements,
             "network_messages": self.network.messages_delivered,
             "network_dropped": self.network.messages_dropped,
+            "network_duplicated": self.network.messages_duplicated,
+            "transfer_stalls": transfer_stalls,
+            "transfer_failovers": transfer_failovers,
+            "transfer_solicits": solicits,
         }
 
     # ------------------------------------------------------------------

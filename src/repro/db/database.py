@@ -62,6 +62,7 @@ class Database:
             self.store.write(obj, value, INITIAL_VERSION)
         self.storage.append(BaselineRecord(-1))
         self.storage.checkpoint(self.store.snapshot())
+        self.storage.flush()
 
     @classmethod
     def recover_from(
@@ -148,7 +149,12 @@ class Database:
         self.store.write(obj, value, gid)
 
     def commit(self, gid: int) -> None:
+        # Commit is the WAL force point: the commit record and every
+        # record before it must survive a crash (write-ahead rule), so a
+        # torn tail can only ever lose begin/write records of in-flight
+        # transactions — work that never externally took effect.
         self.storage.append(CommitRecord(gid))
+        self.storage.flush()
         for obj, _, _ in self._uncommitted_writes.pop(gid, ()):
             self.rectable.register(obj, gid)
         self._unterminated.discard(gid)
@@ -159,6 +165,7 @@ class Database:
         for obj, before_value, before_version in reversed(self._uncommitted_writes.pop(gid, [])):
             self.store.write(obj, before_value, before_version)
         self.storage.append(AbortRecord(gid))
+        self.storage.flush()
         self._unterminated.discard(gid)
         self.aborts += 1
 
@@ -183,6 +190,7 @@ class Database:
     def set_baseline(self, gid: int) -> None:
         """The store now incorporates everything up to ``gid`` (data transfer)."""
         self.storage.append(BaselineRecord(gid))
+        self.storage.flush()
         self.baseline_gid = gid
         self.delivered_gids = [g for g in self.delivered_gids if g > gid]
 
@@ -202,6 +210,7 @@ class Database:
             for obj, before_value, before_version in writes:
                 image[obj] = (before_value, before_version)
         self.storage.checkpoint(image)
+        self.storage.flush()
         if truncate_log:
             self.storage.truncate_through(self.cover_gid())
 
@@ -273,6 +282,19 @@ class Database:
     def pending_version_tags(self) -> Dict[str, int]:
         return dict(self._tagged_version)
 
+    def reset_version_tags(self) -> None:
+        """Drop all pending version tags.
+
+        Only valid once every in-flight serialized writer has been rolled
+        back (stall / demotion): each remaining tag then either
+        duplicates the committed store version or belongs to a
+        rolled-back transaction.  The latter kind is poison — no other
+        site carries it (tags are never transferred), so keeping it
+        would make this site's later version checks diverge from the
+        rest of the group.
+        """
+        self._tagged_version.clear()
+
     # ------------------------------------------------------------------
     # Reconciliation of phantom commits (section 2.3)
     # ------------------------------------------------------------------
@@ -341,4 +363,5 @@ class Database:
                 undone += 1
         for gid in sorted(phantom):
             self.storage.append(ReconcileRecord(gid))
+        self.storage.flush()
         return undone

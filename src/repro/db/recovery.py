@@ -44,6 +44,13 @@ class RecoveryResult:
     redone: int
     discarded: int
     committed_gids: Set[int] = field(default_factory=set)
+    #: True when the WAL tail failed its checksum scan: the log was
+    #: physically truncated at the first corrupt record and the caller
+    #: must treat local state as a stale-but-consistent baseline (the
+    #: site rejoins via data transfer rather than trusting the tail).
+    tail_torn: bool = False
+    #: Records dropped because they sat at/after the first corrupt one.
+    corrupt_records: int = 0
 
 
 def compute_cover(
@@ -57,14 +64,29 @@ def compute_cover(
 
 
 def run_single_site_recovery(storage: PersistentStorage) -> RecoveryResult:
-    """Rebuild the volatile store and cover gid from stable storage."""
+    """Rebuild the volatile store and cover gid from stable storage.
+
+    The log is first verified record-by-record against its CRC32
+    checksums; a mismatch means the tail was torn by a crash
+    mid-write, so the log is truncated at the first corrupt record and
+    only the clean prefix is replayed.  Because commit/abort records are
+    flushed before they take effect, a torn tail can only lose work that
+    never externally mattered — but the site's cover is computed from
+    the surviving prefix, so it honestly rejoins as further behind.
+    """
+    records, corrupt_at = storage.verified_records()
+    tail_torn = corrupt_at is not None
+    corrupt_records = 0
+    if corrupt_at is not None:
+        corrupt_records = storage.truncate_at(corrupt_at)
+
     baseline_gid = -1
     delivered: List[int] = []
     terminated: Set[int] = set()
     committed: Set[int] = set()
     writes_by_gid: Dict[int, List[WriteRecord]] = {}
 
-    for record in storage.records():
+    for record in records:
         if isinstance(record, BaselineRecord):
             baseline_gid = max(baseline_gid, record.gid)
         elif isinstance(record, BeginRecord):
@@ -106,6 +128,8 @@ def run_single_site_recovery(storage: PersistentStorage) -> RecoveryResult:
         redone=redone,
         discarded=discarded,
         committed_gids=committed,
+        tail_torn=tail_torn,
+        corrupt_records=corrupt_records,
     )
 
 

@@ -14,8 +14,18 @@ image, so recovery is pure redo).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+def record_checksum(record: "LogRecord") -> int:
+    """CRC32 of a log record's canonical serialization.
+
+    The record dataclasses are frozen and their ``repr`` is canonical, so
+    it stands in for the on-disk byte encoding a real WAL would checksum.
+    """
+    return zlib.crc32(repr(record).encode("utf-8"))
 
 
 @dataclass(frozen=True)
@@ -79,22 +89,97 @@ LogRecord = Any  # union of the record dataclasses above
 
 
 class PersistentStorage:
-    """Crash-surviving state of one site: the WAL plus a checkpoint image."""
+    """Crash-surviving state of one site: the WAL plus a checkpoint image.
+
+    Every record carries a CRC32 checksum (:func:`record_checksum`), and
+    the log distinguishes a *durable prefix* — records covered by an
+    explicit :meth:`flush` — from an unflushed tail still in the OS/page
+    cache.  A crash can tear the unflushed tail: drop some suffix of it
+    and leave at most one garbage (checksum-mismatching) record where the
+    tear happened.  Recovery uses :meth:`verified_records` to read only
+    the prefix that checksums clean.
+    """
 
     def __init__(self) -> None:
         self.log: List[LogRecord] = []
+        self._crcs: List[int] = []
+        #: Records below this index survived an explicit flush and can
+        #: never be lost or torn by a crash.
+        self.durable_length = 0
         self.checkpoint_image: Dict[str, Tuple[Any, int]] = {}
         self.flushes = 0
+        #: Diagnostics from the last torn-tail event (fault injection).
+        self.torn_records = 0
+        self.corrupt_records = 0
 
     # ------------------------------------------------------------------
     def append(self, record: LogRecord) -> None:
         self.log.append(record)
+        self._crcs.append(record_checksum(record))
+
+    def flush(self) -> None:
+        """Force the whole log to stable storage (fsync)."""
+        if self.durable_length < len(self.log):
+            self.flushes += 1
+        self.durable_length = len(self.log)
+
+    @property
+    def unflushed_count(self) -> int:
+        return len(self.log) - self.durable_length
 
     def records(self) -> Iterator[LogRecord]:
         return iter(self.log)
 
     def __len__(self) -> int:
         return len(self.log)
+
+    def verified_records(self) -> Tuple[List[LogRecord], Optional[int]]:
+        """Longest clean log prefix and the index of the first corrupt
+        record (or None if every record checksums correctly)."""
+        good: List[LogRecord] = []
+        for index, record in enumerate(self.log):
+            if self._crcs[index] != record_checksum(record):
+                return good, index
+            good.append(record)
+        return good, None
+
+    def truncate_at(self, index: int) -> int:
+        """Physically discard log records from ``index`` on.
+
+        Used by recovery after a checksum mismatch: everything at and
+        beyond the first corrupt record is untrustworthy.  Returns the
+        number of records removed.
+        """
+        removed = len(self.log) - index
+        del self.log[index:]
+        del self._crcs[index:]
+        self.durable_length = min(self.durable_length, len(self.log))
+        return removed
+
+    # ------------------------------------------------------------------
+    # Crash-time fault hooks (used by repro.faults.storage)
+    # ------------------------------------------------------------------
+    def tear_tail(self, keep_unflushed: int, corrupt_next: bool = False) -> int:
+        """Simulate a torn write at crash time.
+
+        Keeps the durable prefix plus the first ``keep_unflushed``
+        unflushed records; if ``corrupt_next`` and another unflushed
+        record exists, it is kept but its stored checksum no longer
+        matches (a partially-written sector); the rest of the tail is
+        lost.  Returns the number of records dropped.
+        """
+        keep = self.durable_length + max(0, keep_unflushed)
+        if keep >= len(self.log):
+            return 0
+        if corrupt_next:
+            self._crcs[keep] ^= 0xDEADBEEF
+            self.corrupt_records += 1
+            keep += 1
+        dropped = len(self.log) - keep
+        del self.log[keep:]
+        del self._crcs[keep:]
+        self.torn_records += dropped
+        return dropped
 
     # ------------------------------------------------------------------
     def checkpoint(self, image: Dict[str, Tuple[Any, int]]) -> None:
@@ -127,6 +212,9 @@ class PersistentStorage:
             else:
                 kept.append(record)
         self.log = kept
+        self._crcs = [record_checksum(record) for record in kept]
+        # Rewriting the log is itself a durable operation.
+        self.durable_length = len(self.log)
         return removed
 
     def log_bytes(self, record_size: int = 64) -> int:

@@ -1,0 +1,203 @@
+"""Composable network fault injectors.
+
+An injector is a small object plugged into :class:`repro.net.Network`
+(via ``network.add_injector``) that rewrites the *delivery schedule* of
+each message.  When the network decides a message survives the basic
+loss check, it computes the nominal latency ``d`` and builds the list
+``[d]``; every installed injector is then given a chance to transform
+that list:
+
+* return ``[]``            — drop the message entirely;
+* return ``[d]``           — deliver once, possibly with altered delay;
+* return ``[d1, d2, ...]`` — deliver several copies (duplication).
+
+Because injectors compose left-to-right, a duplicate produced by one
+injector can subsequently be delayed or dropped by the next.  All
+randomness comes from the simulator RNG passed in, so runs stay fully
+deterministic for a given seed.
+
+Matching is done on the *site* prefix of endpoint names: the cluster
+gives every site two endpoints, ``S`` for group communication and
+``S:xfer`` for the reliable data-transfer channel, and a fault on a link
+should normally affect both.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional
+
+
+def site_of(node_id: str) -> str:
+    """The site that owns an endpoint (``"B:xfer"`` -> ``"B"``)."""
+    return node_id.split(":", 1)[0]
+
+
+class FaultInjector:
+    """Base class: pass-through (identity) transform.
+
+    ``transform`` receives the source/destination endpoint names, the
+    payload, the current list of planned delivery delays, the simulator
+    RNG, and the current simulation time; it returns the new list of
+    delays.  Implementations must not mutate ``delays`` in place.
+    """
+
+    def transform(
+        self,
+        src: str,
+        dst: str,
+        payload: Any,
+        delays: List[float],
+        rng: random.Random,
+        now: float,
+    ) -> List[float]:
+        return delays
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class DuplicateInjector(FaultInjector):
+    """Deliver extra copies of a message with probability ``rate``.
+
+    Each duplicate is scheduled a small random offset (up to ``spread``)
+    after the original, modelling retransmission artefacts at the
+    transport layer.  The protocols above must therefore be idempotent
+    against re-delivery — which this injector exists to prove.
+    """
+
+    def __init__(self, rate: float = 0.1, copies: int = 1, spread: float = 0.05) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if copies < 1:
+            raise ValueError("copies must be >= 1")
+        self.rate = rate
+        self.copies = copies
+        self.spread = spread
+
+    def transform(self, src, dst, payload, delays, rng, now):
+        out = list(delays)
+        for delay in delays:
+            if rng.random() < self.rate:
+                for _ in range(self.copies):
+                    out.append(delay + rng.random() * self.spread)
+        return out
+
+    def describe(self) -> str:
+        return f"dup(rate={self.rate}, copies={self.copies})"
+
+
+class ReorderInjector(FaultInjector):
+    """Delay a message by a bounded random extra amount with probability
+    ``rate``, letting later sends overtake it.
+
+    The extra delay is uniform in ``(0, max_extra]``; because the network
+    already randomises base latency, even a small ``max_extra`` produces
+    genuine out-of-order delivery between a pair of endpoints.
+    """
+
+    def __init__(self, rate: float = 0.2, max_extra: float = 0.05) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if max_extra <= 0.0:
+            raise ValueError("max_extra must be positive")
+        self.rate = rate
+        self.max_extra = max_extra
+
+    def transform(self, src, dst, payload, delays, rng, now):
+        out = []
+        for delay in delays:
+            if rng.random() < self.rate:
+                delay += rng.random() * self.max_extra
+            out.append(delay)
+        return out
+
+    def describe(self) -> str:
+        return f"reorder(rate={self.rate}, max_extra={self.max_extra})"
+
+
+class OneWayLinkInjector(FaultInjector):
+    """Asymmetric link degradation: traffic *from* ``src_site`` *to*
+    ``dst_site`` is lost with ``loss_rate`` and/or slowed by
+    ``extra_latency``; the reverse direction is untouched.
+
+    This models the nastiest failure mode for request/ack protocols: the
+    data flows but the acknowledgements (or vice versa) silently vanish,
+    so neither side sees a crash or view change.  ``loss_rate=1.0`` is a
+    full one-way blackout.  Matching is by site prefix, so both the GCS
+    endpoint and the ``:xfer`` transfer endpoint of the site pair are
+    affected.
+    """
+
+    def __init__(
+        self,
+        src_site: str,
+        dst_site: str,
+        loss_rate: float = 1.0,
+        extra_latency: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1], got {loss_rate}")
+        if extra_latency < 0.0:
+            raise ValueError("extra_latency must be >= 0")
+        self.src_site = src_site
+        self.dst_site = dst_site
+        self.loss_rate = loss_rate
+        self.extra_latency = extra_latency
+
+    def matches(self, src: str, dst: str) -> bool:
+        return site_of(src) == self.src_site and site_of(dst) == self.dst_site
+
+    def transform(self, src, dst, payload, delays, rng, now):
+        if not self.matches(src, dst):
+            return delays
+        out = []
+        for delay in delays:
+            if self.loss_rate > 0.0 and rng.random() < self.loss_rate:
+                continue
+            out.append(delay + self.extra_latency)
+        return out
+
+    def describe(self) -> str:
+        return (
+            f"oneway({self.src_site}->{self.dst_site}, "
+            f"loss={self.loss_rate}, +{self.extra_latency})"
+        )
+
+
+class LatencySpikeInjector(FaultInjector):
+    """Random latency bursts: with probability ``rate`` per message a
+    burst starts, and for ``burst_duration`` of simulated time *all*
+    messages get ``spike`` added to their delay.
+
+    Bursts model transient congestion — during one, timeouts fire and
+    retransmissions pile up even though nothing is lost.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.02,
+        spike: float = 0.2,
+        burst_duration: float = 0.3,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {rate}")
+        if spike < 0.0 or burst_duration < 0.0:
+            raise ValueError("spike and burst_duration must be >= 0")
+        self.rate = rate
+        self.spike = spike
+        self.burst_duration = burst_duration
+        self._burst_until = -1.0
+
+    def in_burst(self, now: float) -> bool:
+        return now < self._burst_until
+
+    def transform(self, src, dst, payload, delays, rng, now):
+        if not self.in_burst(now) and rng.random() < self.rate:
+            self._burst_until = now + self.burst_duration
+        if not self.in_burst(now):
+            return delays
+        return [delay + self.spike for delay in delays]
+
+    def describe(self) -> str:
+        return f"spike(rate={self.rate}, +{self.spike} for {self.burst_duration})"

@@ -1,0 +1,70 @@
+"""Storage fault models applied at crash time.
+
+A real crash can tear the WAL tail: records sitting in the OS page
+cache (appended but not yet fsynced) may be lost wholesale, and the
+sector being written at the instant of the crash may be half-written
+garbage.  :class:`TornTailFaults` reproduces exactly that against
+:class:`repro.db.wal.PersistentStorage`, which tracks the durable
+(flushed) prefix separately from the volatile tail.
+
+The model is installed on a node (``node.storage_faults``) or cluster
+(``cluster.install_storage_faults``) and consulted by
+``ReplicatedDatabaseNode.crash()``; recovery then detects the damage via
+the per-record CRC32 checksums and rejoins through data transfer.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.db.wal import PersistentStorage
+
+
+class TornTailFaults:
+    """Tear the unflushed WAL tail on crash.
+
+    With probability ``tear_probability`` a crash loses a random suffix
+    of the unflushed records; with probability ``corrupt_probability``
+    the record at the tear point is kept but fails its checksum (a
+    partially-written sector) instead of disappearing cleanly.  The
+    durable prefix — everything up to the last flush — is never touched.
+    """
+
+    def __init__(
+        self,
+        tear_probability: float = 1.0,
+        corrupt_probability: float = 0.5,
+    ) -> None:
+        if not 0.0 <= tear_probability <= 1.0:
+            raise ValueError(f"tear_probability must be in [0, 1], got {tear_probability}")
+        if not 0.0 <= corrupt_probability <= 1.0:
+            raise ValueError(f"corrupt_probability must be in [0, 1], got {corrupt_probability}")
+        self.tear_probability = tear_probability
+        self.corrupt_probability = corrupt_probability
+        self.tears = 0
+        self.corruptions = 0
+
+    def on_crash(self, storage: PersistentStorage, rng: random.Random) -> int:
+        """Apply the fault to ``storage``; returns records affected
+        (dropped outright plus the one left corrupted, if any)."""
+        unflushed = storage.unflushed_count
+        if unflushed == 0 or rng.random() >= self.tear_probability:
+            return 0
+        keep = rng.randrange(unflushed)  # damage at least one record
+        corrupt = rng.random() < self.corrupt_probability
+        corrupt_before = storage.corrupt_records
+        dropped = storage.tear_tail(keep, corrupt_next=corrupt)
+        corrupted = storage.corrupt_records > corrupt_before
+        affected = dropped + (1 if corrupted else 0)
+        if affected:
+            self.tears += 1
+            if corrupted:
+                self.corruptions += 1
+        return affected
+
+    def describe(self) -> str:
+        return (
+            f"torn-tail(tear={self.tear_probability}, "
+            f"corrupt={self.corrupt_probability})"
+        )

@@ -114,15 +114,21 @@ class ViewTotalOrder:
     # Receiver side
     # ------------------------------------------------------------------
     def on_ordered(self, msg: Ordered) -> None:
-        if self.closed or msg.view_id != self.view.view_id:
+        if msg.view_id != self.view.view_id:
             return
         if msg.seq in self.received:
             return
+        # Record even while closed (frozen for a membership round): the
+        # message becomes part of the flush cut, and if the round aborts
+        # and this view resumes, a discarded top-seq message would leave
+        # no gap below it — nothing would ever NAK it back.
         self.received[msg.seq] = msg
         advanced = False
         while self.recv_highwater + 1 in self.received:
             self.recv_highwater += 1
             advanced = True
+        if self.closed:
+            return
         if advanced:
             self._broadcast_ack()
         self._maybe_deliver()
@@ -172,8 +178,18 @@ class ViewTotalOrder:
         top = max(self.received)
         return tuple(s for s in range(self.recv_highwater + 1, top) if s not in self.received)
 
+    #: How many Ordered messages the sequencer pushes per laggard per
+    #: maintenance tick.  Keeps a recovering member from being flooded.
+    RETRANSMIT_WINDOW = 16
+
     def maintenance(self) -> None:
-        """Periodic loss recovery: NAK gaps, re-ACK while undelivered."""
+        """Periodic loss recovery: NAK gaps, re-ACK while undelivered,
+        and sequencer-driven retransmission to lagging members.
+
+        The sequencer push matters for the *top* of the sequence: a
+        member that missed the highest Ordered sees no gap and never
+        NAKs, yet its cumulative ack stays behind — which the sequencer
+        can observe and repair without waiting for a view change."""
         if self.closed:
             return
         missing = self.gaps()
@@ -181,6 +197,16 @@ class ViewTotalOrder:
             self._send(self.sequencer, Nak(sender=self.me, view_id=self.view.view_id, missing=missing))
         if self.recv_highwater > self.delivered_seq:
             self._broadcast_ack()
+        if self.me == self.sequencer:
+            top = self._next_seq - 1
+            for member, high in self.ack_high.items():
+                if member == self.me or high >= top:
+                    continue
+                stop = min(high + self.RETRANSMIT_WINDOW, top)
+                for seq in range(high + 1, stop + 1):
+                    ordered = self._history.get(seq)
+                    if ordered is not None:
+                        self._send(member, ordered)
 
     def flush_cut(self) -> Tuple[Ordered, ...]:
         """Everything received beyond the delivered prefix, for FLUSH."""

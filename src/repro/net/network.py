@@ -16,12 +16,31 @@ unicast messages through :meth:`Network.send`; multicast is built above.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set
 
 from repro.sim.core import Simulator
 from repro.net.latency import LatencyModel, UniformLatency
 
 Handler = Callable[[str, Any], None]
+
+
+def validate_loss_rate(loss_rate: float) -> float:
+    """Validate a message loss probability: a finite float in [0, 1).
+
+    1.0 is rejected on purpose — a link that loses *every* message is a
+    partition, and should be modelled as one (or as a one-way fault
+    injector), not as a loss rate; NaN silently disables loss because
+    every comparison against it is False, so it is rejected explicitly.
+    """
+    if isinstance(loss_rate, bool) or not isinstance(loss_rate, (int, float)):
+        raise ValueError(f"loss_rate must be a number, got {loss_rate!r}")
+    loss_rate = float(loss_rate)
+    if math.isnan(loss_rate):
+        raise ValueError("loss_rate must not be NaN")
+    if not 0.0 <= loss_rate < 1.0:
+        raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+    return loss_rate
 
 
 class Endpoint:
@@ -74,17 +93,45 @@ class Network:
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
     ) -> None:
-        if not 0.0 <= loss_rate < 1.0:
-            raise ValueError("loss_rate must be in [0, 1)")
         self.sim = sim
         self.latency = latency or UniformLatency()
-        self.loss_rate = loss_rate
+        self.loss_rate = validate_loss_rate(loss_rate)
         self._endpoints: Dict[str, Endpoint] = {}
         self._component: Dict[str, int] = {}
         self.messages_in_flight = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
+        self.messages_duplicated = 0
+        self.messages_injector_dropped = 0
         self._taps: List[Callable[[str, str, Any], None]] = []
+        #: Pluggable fault injectors (see :mod:`repro.faults.injectors`):
+        #: each transforms the planned delivery schedule of a message.
+        self._injectors: List[Any] = []
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the i.i.d. loss probability at runtime (fault injection)."""
+        self.loss_rate = validate_loss_rate(loss_rate)
+
+    # ------------------------------------------------------------------
+    # Fault injectors
+    # ------------------------------------------------------------------
+    def add_injector(self, injector: Any) -> Any:
+        """Install a fault injector; returns it for later removal."""
+        self._injectors.append(injector)
+        return injector
+
+    def remove_injector(self, injector: Any) -> None:
+        try:
+            self._injectors.remove(injector)
+        except ValueError:
+            pass
+
+    def clear_injectors(self) -> None:
+        self._injectors.clear()
+
+    @property
+    def injectors(self) -> List[Any]:
+        return list(self._injectors)
 
     # ------------------------------------------------------------------
     # Topology management
@@ -171,8 +218,22 @@ class Network:
             self.messages_dropped += 1
             return
         delay = self.latency.sample(self.sim.rng)
-        self.messages_in_flight += 1
-        self.sim.schedule(delay, self._arrive, src, dst, payload, label=f"net {src}->{dst}")
+        deliveries = [delay]
+        for injector in self._injectors:
+            deliveries = injector.transform(src, dst, payload, deliveries,
+                                            self.sim.rng, self.sim.now)
+            if not deliveries:
+                break
+        if not deliveries:
+            self.messages_dropped += 1
+            self.messages_injector_dropped += 1
+            return
+        if len(deliveries) > 1:
+            self.messages_duplicated += len(deliveries) - 1
+        for this_delay in deliveries:
+            self.messages_in_flight += 1
+            self.sim.schedule(max(this_delay, 0.0), self._arrive, src, dst, payload,
+                              label=f"net {src}->{dst}")
 
     def _arrive(self, src: str, dst: str, payload: Any) -> None:
         self.messages_in_flight -= 1

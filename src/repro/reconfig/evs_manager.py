@@ -115,6 +115,7 @@ class EvsReconfigManager(BaseReconfigManager):
             self.activation_authorized = False
             self._creation_source = False
             self._creation_started = False
+            self._creation_view = None
             self._creation_reports = {}
             self._caught_up_joiners.clear()
             return
@@ -198,6 +199,18 @@ class EvsReconfigManager(BaseReconfigManager):
     def _reconcile(self, eview: EView, sync_gid: int) -> None:
         node = self.node
         primary = self._primary_subview(eview)
+        if (
+            primary is not None
+            and node.site_id in primary
+            and not node.up_to_date
+            and not self._creation_source
+        ):
+            # Structurally primary but data-stale: a companion of the
+            # creation source whose subview survived a total failure is
+            # *in* the primary subview without holding the source's
+            # merged state.  It must not coordinate merges or serve
+            # transfers until its own catch-up completes.
+            return
         if primary is not None:
             coordinators = sorted(primary)
             my_sv = eview.subview_id_of(node.site_id)
@@ -235,17 +248,32 @@ class EvsReconfigManager(BaseReconfigManager):
             ),
             key=str,
         )
+        if self._creation_source:
+            # A total failure dissolves the pre-failure subview
+            # structure: my subview companions are not guaranteed to
+            # hold the merged state the creation protocol just built
+            # here, so they recover like any other joiner.
+            my_sv_members = eview.subviews().get(my_sv, frozenset())
+            for joiner in sorted(my_sv_members - {node.site_id}):
+                if joiner not in self._caught_up_joiners:
+                    self.start_session(joiner, sync_gid)
+
         for index, sv_id in enumerate(foreign_subviews):
-            if elect_for(coordinators, index) != node.site_id:
-                continue
             members = eview.subviews()[sv_id]
             if members <= self._caught_up_joiners:
                 # Rule III precondition: every site of the subview caught
-                # up -> merge it into the primary subview.
+                # up -> merge it into the primary subview.  Issued by any
+                # coordinator that *knows* the catch-up happened, not only
+                # the elected one: a stalled transfer may have failed over
+                # (TransferSolicit) to a non-elected peer, which is then
+                # the only site holding this knowledge.  Racing duplicate
+                # merges are no-ops at the EVS layer.
                 if sv_id not in self._sv_merges_requested:
                     self._sv_merges_requested.add(sv_id)
                     self.sv_merges_issued += 1
                     self.evs.subview_merge((my_sv, sv_id))
+                continue
+            if elect_for(coordinators, index) != node.site_id:
                 continue
             for joiner in sorted(members):
                 if joiner not in self._caught_up_joiners:

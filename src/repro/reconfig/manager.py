@@ -34,7 +34,9 @@ from repro.reconfig.transfer import (
     TransferBatch,
     TransferBatchAck,
     TransferComplete,
+    TransferCompleteAck,
     TransferOffer,
+    TransferSolicit,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -78,6 +80,19 @@ class BaseReconfigManager:
         self._done_partitions: Dict[str, int] = {}
         self._creation_reports: Dict[str, CreationReport] = {}
         self._creation_started = False
+        # View the running creation round belongs to.  The round is
+        # per-view: a new installation re-arms it, otherwise a site whose
+        # round was interrupted (or that was the source in an *earlier*
+        # total-failure episode) would never contribute its report again.
+        self._creation_view: Optional[object] = None
+
+        # Joiner-side stall watchdog (transfer hardening): time
+        # of the last inbound message for the current joiner session; a
+        # RECOVERING site with no progress for transfer_stall_timeout
+        # cancels the session and solicits a different peer.
+        self._last_transfer_progress: Optional[float] = None
+        self._stalled_peers: Dict[str, float] = {}
+        self._solicit_rr = 0
 
         self.transfers_started = 0
         self.transfers_completed = 0
@@ -87,10 +102,21 @@ class BaseReconfigManager:
         self.bytes_sent_total = 0
         self.objects_received_total = 0
         self.bytes_received_total = 0
+        self.transfer_stalls = 0
+        self.transfer_failovers = 0
+        self.solicits_sent = 0
 
     # ------------------------------------------------------------------
     # Node lifecycle hooks
     # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        """Called from the node's (re)start path: arm periodic watchdogs.
+
+        The events are owned by ``node.proc``, so a crash cancels them."""
+        self._last_transfer_progress = None
+        interval = self.node.config.transfer_stall_timeout / 2.0
+        self.node.proc.every(interval, self._stall_tick)
+
     def on_crash(self) -> None:
         for session in list(self.sessions_out.values()):
             session.cancel()
@@ -114,6 +140,7 @@ class BaseReconfigManager:
         self.activation_authorized = False
         self._announced = False
         self._creation_started = False
+        self._creation_view = None
         self._creation_reports = {}
 
     def note_partition_complete(self, partition: str, boundary_gid: int) -> None:
@@ -151,6 +178,7 @@ class BaseReconfigManager:
         self._announced = False
         self._creation_reports = {}
         self._creation_started = False
+        self._creation_view = None
 
     # ------------------------------------------------------------------
     # Joiner side: message enqueueing and replay (section 4.2)
@@ -170,6 +198,19 @@ class BaseReconfigManager:
         session = self.joiner_session
         if session is None or session.session_id != msg.session_id:
             return
+        if msg.final_seq > session._last_batch_seq:
+            # The completion notice overtook the session's final batch
+            # (the transfer channel is not FIFO under fault injection).
+            # Don't ack and don't install the baseline: the batch is in
+            # flight and the peer retransmits the notice until we do.
+            return
+        # Always (re-)ack — the peer retransmits TransferComplete until
+        # it hears this, and our previous ack may have been lost.
+        self.node.send_transfer(
+            session.peer, TransferCompleteAck(session_id=msg.session_id)
+        )
+        if session.complete:
+            return  # duplicate delivery: baseline already installed
         session.on_complete(msg)
         db = self.node.db
         # Persist the transferred state before moving the baseline, so a
@@ -278,12 +319,114 @@ class BaseReconfigManager:
         """The joiner reported catch-up completion for this session."""
         self.sessions_out.pop(session.joiner, None)
 
+    def on_peer_session_stalled(self, session: PeerTransferSession) -> None:
+        """A peer-side session exhausted its retransmissions (the joiner
+        never answered): drop it.  The joiner's own watchdog solicits a
+        replacement peer; if the joiner is truly gone the next view
+        change cleans up for good."""
+        self.transfer_stalls += 1
+        self.sessions_out.pop(session.joiner, None)
+
+    # ------------------------------------------------------------------
+    # Joiner-side stall detection and peer fail-over (no view change)
+    # ------------------------------------------------------------------
+    def _note_transfer_progress(self) -> None:
+        self._last_transfer_progress = self.node.sim.now
+
+    def _stall_tick(self) -> None:
+        from repro.replication.node import SiteStatus
+
+        node = self.node
+        if node.status is not SiteStatus.RECOVERING:
+            self._last_transfer_progress = None
+            return
+        now = node.sim.now
+        if self._last_transfer_progress is None:
+            self._last_transfer_progress = now
+            return
+        if now - self._last_transfer_progress < node.config.transfer_stall_timeout:
+            return
+        # A full stall window with no inbound transfer traffic: either
+        # our session's peer went silent (one-way degradation) or the
+        # elected peer's offers never reach us.  Fail over.
+        stalled_peer = None
+        if self.joiner_session is not None:
+            stalled_peer = self.joiner_session.peer
+            self._stalled_peers[stalled_peer] = now
+            self.joiner_session.cancel()
+            self.joiner_session = None
+        self.transfer_stalls += 1
+        node.trace("fault", "xfer_joiner_stall",
+                   f"no transfer progress (peer {stalled_peer or 'none'})")
+        self._last_transfer_progress = now
+        self._solicit_transfer(exclude=stalled_peer)
+
+    def _solicit_transfer(self, exclude: Optional[str] = None) -> None:
+        """Ask an up-to-date member to start a transfer towards us,
+        avoiding recently stalled peers while the cool-off lasts."""
+        node = self.node
+        now = node.sim.now
+        cooloff = node.config.transfer_stall_timeout * 4.0
+        candidates = sorted(
+            site for site in node.member.view.members
+            if site != node.site_id and node.site_utd.get(site, False)
+        )
+        fresh = [
+            site for site in candidates
+            if site != exclude and now - self._stalled_peers.get(site, -1e18) >= cooloff
+        ]
+        # Fall back to stale candidates (the degradation may have healed)
+        # rather than not soliciting at all.
+        pool = fresh or [site for site in candidates if site != exclude] or candidates
+        if not pool:
+            return
+        target = pool[self._solicit_rr % len(pool)]
+        self._solicit_rr += 1
+        self.solicits_sent += 1
+        node.trace("fault", "xfer_solicit", f"-> {target}")
+        node.send_transfer(target, TransferSolicit(joiner=node.site_id))
+
+    def _on_transfer_solicit(self, msg: TransferSolicit) -> None:
+        """Peer side: a stalled joiner asks us to take over its transfer.
+
+        Served regardless of the view-change-time peer election — the
+        elected peer is exactly the one that went silent."""
+        from repro.replication.node import SiteStatus
+
+        node = self.node
+        if node.status is not SiteStatus.ACTIVE or not node.up_to_date:
+            return
+        joiner = msg.joiner
+        if joiner == node.site_id or joiner not in node.member.view.members:
+            return
+        existing = self.sessions_out.get(joiner)
+        if existing is not None and existing.active:
+            return  # already serving this joiner (offers may be in flight)
+        self.transfer_failovers += 1
+        node.trace("fault", "xfer_failover", f"serving solicited joiner {joiner}")
+        self.start_session(joiner, sync_gid=node.last_processed_gid)
+
     # ------------------------------------------------------------------
     # Transfer channel dispatch
     # ------------------------------------------------------------------
     def on_transfer_message(self, src: str, payload: Any) -> None:
         from repro.replication.node import SiteStatus
 
+        # Any inbound message for the current joiner session counts as
+        # progress for the stall watchdog; fresh offers do too.
+        if isinstance(payload, TransferOffer) or (
+            self.joiner_session is not None
+            and getattr(payload, "session_id", None) == self.joiner_session.session_id
+        ):
+            self._note_transfer_progress()
+        if isinstance(payload, TransferSolicit):
+            self._on_transfer_solicit(payload)
+            return
+        if isinstance(payload, TransferCompleteAck):
+            session = self._session_by_id(payload.session_id)
+            if session is not None:
+                session.on_complete_ack()
+            return
         if isinstance(payload, TransferOffer):
             if self.node.status not in (SiteStatus.RECOVERING, SiteStatus.SUSPENDED):
                 return
@@ -383,11 +526,13 @@ class BaseReconfigManager:
         """In a primary view with no up-to-date member, once *all* sites
         are present, compare all logs (the paper's argument for why a
         majority is not enough)."""
-        if self._creation_started:
-            return
         if set(view.members) != set(self.node.member.universe):
             return
+        if self._creation_started and self._creation_view == view.view_id:
+            return
         self._creation_started = True
+        self._creation_view = view.view_id
+        self._creation_reports = {}
         db = self.node.db
         cover = db.cover_gid()
         report = CreationReport(
@@ -407,6 +552,7 @@ class BaseReconfigManager:
         if source != self.node.site_id:
             self._creation_reports = {}
             self._creation_started = False
+            self._creation_view = None
             return
         # I am the source: apply every committed transaction above my
         # cover found in any log, in gid order.
@@ -472,6 +618,7 @@ class VsReconfigManager(BaseReconfigManager):
             self._announced = False
             self.activation_authorized = False
             self._creation_started = False
+            self._creation_view = None
             self._creation_reports = {}
             return
 

@@ -155,7 +155,9 @@ class LazyTransferStrategy(TransferStrategy):
         from repro.reconfig.transfer import LastRoundStart
 
         session.strategy_state["final"] = True
-        session.node.send_transfer(session.joiner, LastRoundStart(session_id=session.session_id))
+        # Tracked: acknowledged by LastRoundReady, retransmitted on loss —
+        # an unanswered announcement would otherwise hang the last round.
+        session.send_tracked("last_round", LastRoundStart(session_id=session.session_id))
 
     def on_last_round_ready(self, session, msg) -> None:
         if not session.active:

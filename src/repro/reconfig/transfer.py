@@ -93,12 +93,17 @@ class TransferBatch:
     items: Tuple[Tuple[str, Any, int], ...]  # (object, value, version)
     payload_bytes: int
     round_boundary: Optional[int] = None  # lazy: state complete through this gid
+    #: Per-session monotone sequence number; lets the joiner recognise a
+    #: retransmitted or duplicated batch (re-ack without re-counting) and
+    #: the peer discard stale acks.
+    seq: int = 0
 
 
 @dataclass(frozen=True)
 class TransferBatchAck:
     session_id: str
     count: int
+    seq: int = 0
 
 
 @dataclass(frozen=True)
@@ -119,6 +124,33 @@ class LastRoundReady:
 class TransferComplete:
     session_id: str
     baseline_gid: int  # the joiner's state now covers all gids <= baseline
+    #: Sequence number of the last batch of the session.  The transfer
+    #: channel does not guarantee FIFO under fault injection, so the
+    #: completion notice could overtake the final batch; the joiner must
+    #: not install the baseline before it has applied batches through
+    #: this seq (0 = unknown, accept immediately).
+    final_seq: int = 0
+
+
+@dataclass(frozen=True)
+class TransferCompleteAck:
+    """Joiner -> peer: the TransferComplete arrived.  Without this the
+    peer cannot distinguish a lost completion notice from a slow joiner
+    and would hold the session (and its locks) forever under a one-way
+    link fault."""
+
+    session_id: str
+
+
+@dataclass(frozen=True)
+class TransferSolicit:
+    """Joiner -> prospective peer: my current transfer stalled (or no
+    offer ever arrived); please start a session towards me.  This is the
+    fail-over path that works *without* a view change — the stalled peer
+    is still a group member, only its transfer channel is degraded."""
+
+    joiner: str
+    reason: str = "stall"
 
 
 @dataclass(frozen=True)
@@ -169,6 +201,17 @@ class PeerTransferSession:
         self._batch_cb: Optional[Callable[[], None]] = None
         self._pending_accept: Optional[TransferAccept] = None
 
+        # Retransmission state: every point-to-point message that expects
+        # an answer is *tracked* — resent with exponential backoff until
+        # acknowledged, and the session declared stalled after
+        # ``transfer_max_retries`` retransmissions (transfer hardening).
+        self._tracked: Dict[str, Dict[str, Any]] = {}
+        self._offer_attempts = 0
+        self._batch_seq = 0
+        self._last_acked_seq = 0
+        self.retransmissions = 0
+        self.stalled = False
+
         self.objects_sent = 0
         self.bytes_sent = 0
         self.started_at = node.sim.now
@@ -182,9 +225,18 @@ class PeerTransferSession:
     # ------------------------------------------------------------------
     # Handshake
     # ------------------------------------------------------------------
+    # How many offers go out at the fast OFFER_RETRY cadence before the
+    # retry interval starts backing off exponentially.
+    OFFER_FAST_ATTEMPTS = 5
+
     def _send_offer(self) -> None:
         if not self.active or self.accepted:
             return
+        config = self.node.config
+        if self._offer_attempts >= self.OFFER_FAST_ATTEMPTS + config.transfer_max_retries:
+            self._fail_stalled("offer")
+            return
+        self._offer_attempts += 1
         self.node.send_transfer(
             self.joiner,
             TransferOffer(
@@ -194,7 +246,63 @@ class PeerTransferSession:
                 sync_gid=self.sync_gid,
             ),
         )
-        self.node.proc.after(self.OFFER_RETRY, self._send_offer)
+        if self._offer_attempts <= self.OFFER_FAST_ATTEMPTS:
+            delay = self.OFFER_RETRY
+        else:
+            exponent = self._offer_attempts - self.OFFER_FAST_ATTEMPTS - 1
+            delay = config.transfer_ack_timeout * (config.transfer_retry_backoff ** exponent)
+        self.node.proc.after(delay, self._send_offer)
+
+    # ------------------------------------------------------------------
+    # Tracked (acknowledged) control sends with retransmission
+    # ------------------------------------------------------------------
+    def send_tracked(self, kind: str, message: Any) -> None:
+        """Send a message that expects an acknowledgement; retransmit
+        with exponential backoff until :meth:`ack_tracked` is called for
+        the same ``kind``, declaring the session stalled after
+        ``transfer_max_retries`` retransmissions."""
+        self._tracked[kind] = {"msg": message, "attempts": 0, "event": None}
+        self._transmit_tracked(kind)
+
+    def _transmit_tracked(self, kind: str) -> None:
+        entry = self._tracked.get(kind)
+        if entry is None or not self.active:
+            return
+        config = self.node.config
+        if entry["attempts"] > config.transfer_max_retries:
+            self._fail_stalled(kind)
+            return
+        if entry["attempts"]:
+            self.retransmissions += 1
+            self.node.trace(
+                "fault", "xfer_retransmit",
+                f"{kind} -> {self.joiner} attempt {entry['attempts'] + 1}",
+            )
+        self.node.send_transfer(self.joiner, entry["msg"])
+        timeout = config.transfer_ack_timeout * (
+            config.transfer_retry_backoff ** entry["attempts"]
+        )
+        entry["attempts"] += 1
+        entry["event"] = self.node.proc.after(timeout, self._transmit_tracked, kind)
+
+    def ack_tracked(self, kind: str) -> None:
+        entry = self._tracked.pop(kind, None)
+        if entry is not None and entry["event"] is not None:
+            entry["event"].cancel()
+
+    def _fail_stalled(self, kind: str) -> None:
+        """Too many unanswered retransmissions: give up on this session
+        so the manager can fail over to another peer (or the joiner can
+        solicit one) without waiting for a view change."""
+        if not self.active:
+            return
+        self.stalled = True
+        self.node.trace("fault", "xfer_stalled",
+                        f"session -> {self.joiner} gave up on {kind}")
+        manager = self.node.reconfig
+        self.cancel()
+        if manager is not None:
+            manager.on_peer_session_stalled(self)
 
     def on_accept(self, accept: TransferAccept) -> None:
         if not self.active or self.accepted:
@@ -207,8 +315,8 @@ class PeerTransferSession:
         phantoms = self.db.verify_committed(accept.committed_above_cover)
         if phantoms:
             self._pending_accept = accept
-            self.node.send_transfer(
-                self.joiner,
+            self.send_tracked(
+                "reconcile",
                 ReconcileNotice(session_id=self.session_id, phantom_gids=phantoms),
             )
             return
@@ -219,6 +327,7 @@ class PeerTransferSession:
         accept = getattr(self, "_pending_accept", None)
         if not self.active or accept is None:
             return
+        self.ack_tracked("reconcile")
         self._pending_accept = None
         self.strategy.begin(self, accept)
         self._maybe_send_batch()
@@ -305,26 +414,39 @@ class PeerTransferSession:
         boundary = None
         if self._round_boundary is not None and not self._outbox:
             boundary = self._round_boundary
-        self.node.send_transfer(
-            self.joiner,
-            TransferBatch(
-                session_id=self.session_id,
-                round_no=self.round_no,
-                items=items,
-                payload_bytes=payload_bytes,
-                round_boundary=boundary,
-            ),
-        )
+        self._batch_seq += 1
         self.objects_sent += len(items)
         self.bytes_sent += payload_bytes
         manager = self.node.reconfig
         if manager is not None:
             manager.objects_sent_total += len(items)
             manager.bytes_sent_total += payload_bytes
+        self.send_tracked(
+            "batch",
+            TransferBatch(
+                session_id=self.session_id,
+                round_no=self.round_no,
+                items=items,
+                payload_bytes=payload_bytes,
+                round_boundary=boundary,
+                seq=self._batch_seq,
+            ),
+        )
 
     def on_batch_ack(self, ack: TransferBatchAck) -> None:
         if not self.active or self._inflight is None:
             return
+        if ack.seq:
+            if ack.seq != self._batch_seq:
+                return  # stale ack of an earlier (retransmitted) batch
+            if ack.seq <= self._last_acked_seq:
+                # Duplicated ack of the current batch: the first copy
+                # already advanced the engine (the next transmission may
+                # still be sitting in its marshalling delay, so
+                # _batch_seq alone cannot tell the copies apart).
+                return
+            self._last_acked_seq = ack.seq
+        self.ack_tracked("batch")
         self._inflight = None
         for obj in self._inflight_release:
             self.release_lock(obj)
@@ -333,9 +455,14 @@ class PeerTransferSession:
 
     def on_last_round_ready(self, msg: LastRoundReady) -> None:
         if self.active:
+            self.ack_tracked("last_round")
             self.strategy.on_last_round_ready(self, msg)
 
+    def on_complete_ack(self) -> None:
+        self.ack_tracked("complete")
+
     def on_catch_up_complete(self) -> None:
+        self.ack_tracked("complete")
         if self.on_done is not None:
             self.on_done(self)
 
@@ -345,9 +472,11 @@ class PeerTransferSession:
         self.finished_at = self.node.sim.now
         self.release_all_locks()
         self.strategy.on_session_closed(self)
-        self.node.send_transfer(
-            self.joiner,
-            TransferComplete(session_id=self.session_id, baseline_gid=self._finished_baseline),
+        self.send_tracked(
+            "complete",
+            TransferComplete(session_id=self.session_id,
+                             baseline_gid=self._finished_baseline,
+                             final_seq=self._batch_seq),
         )
 
     def cancel(self) -> None:
@@ -355,6 +484,10 @@ class PeerTransferSession:
         if not self.active:
             return
         self.active = False
+        for entry in self._tracked.values():
+            if entry["event"] is not None:
+                entry["event"].cancel()
+        self._tracked.clear()
         self.release_all_locks()
         self.strategy.on_session_closed(self)
 
@@ -380,6 +513,7 @@ class JoinerTransferSession:
         self.baseline_gid: Optional[int] = None
         self.objects_received = 0
         self.bytes_received = 0
+        self._last_batch_seq = 0
 
     def accept(self) -> None:
         needs_full = len(self.node.db.store) == 0
@@ -426,18 +560,35 @@ class JoinerTransferSession:
     def on_batch(self, batch: TransferBatch) -> None:
         if not self.active:
             return
-        self.node.db.store.apply(batch.items)
-        self.objects_received += len(batch.items)
-        self.bytes_received += batch.payload_bytes
-        manager = self.node.reconfig
-        if manager is not None:
-            manager.objects_received_total += len(batch.items)
-            manager.bytes_received_total += batch.payload_bytes
-        if batch.round_boundary is not None:
-            self.resume_through = max(self.resume_through, batch.round_boundary)
+        duplicate = bool(batch.seq) and batch.seq <= self._last_batch_seq
+        if not duplicate:
+            # Installing is idempotent anyway (the store keeps the newest
+            # version), but the seq guard keeps counters honest under
+            # duplication/retransmission.
+            self._last_batch_seq = max(self._last_batch_seq, batch.seq)
+            self.node.db.store.apply(batch.items)
+            # Transferred versions bypass the commit path, so register
+            # them in the RecTable here — otherwise this site, acting as
+            # peer for a *later* joiner, would silently omit objects it
+            # only ever received via transfer (its RecTable rebuild at
+            # recovery predates them).
+            for obj, _value, version in batch.items:
+                if version >= 0:
+                    self.node.db.rectable.register(obj, version)
+            self.objects_received += len(batch.items)
+            self.bytes_received += batch.payload_bytes
+            manager = self.node.reconfig
+            if manager is not None:
+                manager.objects_received_total += len(batch.items)
+                manager.bytes_received_total += batch.payload_bytes
+            if batch.round_boundary is not None:
+                self.resume_through = max(self.resume_through, batch.round_boundary)
+        # Always (re-)ack — the previous ack may have been lost.
         self.node.send_transfer(
             self.peer,
-            TransferBatchAck(session_id=self.session_id, count=len(batch.items)),
+            TransferBatchAck(
+                session_id=self.session_id, count=len(batch.items), seq=batch.seq
+            ),
         )
 
     def on_complete(self, msg: TransferComplete) -> None:

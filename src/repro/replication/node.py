@@ -86,6 +86,17 @@ class NodeConfig:
     partition_count: int = 0
     transfer_obj_time: float = 0.0002  # peer-side per-object marshalling
     transfer_batch_size: int = 50
+    #: Transfer hardening: unacked point-to-point transfer
+    #: messages are retransmitted after ``transfer_ack_timeout``, backing
+    #: off by ``transfer_retry_backoff`` per attempt; after
+    #: ``transfer_max_retries`` retransmissions the session is declared
+    #: stalled and fails over to another peer even without a view change.
+    transfer_ack_timeout: float = 0.25
+    transfer_retry_backoff: float = 2.0
+    transfer_max_retries: int = 6
+    #: Joiner-side watchdog: a transfer session making no progress for
+    #: this long is cancelled and re-solicited from a different peer.
+    transfer_stall_timeout: float = 1.0
     object_size_bytes: int = 256
     checkpoint_interval: float = 1.0
     #: Truncate the WAL prefix the checkpoint image subsumes (bounded log
@@ -110,6 +121,14 @@ class NodeConfig:
                 raise ValueError(f"{name} must be non-negative")
         if self.transfer_batch_size < 1:
             raise ValueError("transfer_batch_size must be at least 1")
+        if self.transfer_ack_timeout <= 0:
+            raise ValueError("transfer_ack_timeout must be positive")
+        if self.transfer_retry_backoff < 1.0:
+            raise ValueError("transfer_retry_backoff must be at least 1.0")
+        if self.transfer_max_retries < 1:
+            raise ValueError("transfer_max_retries must be at least 1")
+        if self.transfer_stall_timeout <= 0:
+            raise ValueError("transfer_stall_timeout must be positive")
         if self.object_size_bytes < 1:
             raise ValueError("object_size_bytes must be at least 1")
         if self.partition_count < 0:
@@ -201,6 +220,12 @@ class ReplicatedDatabaseNode:
         # Reconfiguration manager is attached by configure_reconfig().
         self.reconfig = None
 
+        #: Optional storage fault model (repro.faults.storage) consulted
+        #: at crash time to tear/corrupt the unflushed WAL tail.
+        self.storage_faults = None
+        #: Optional tracer (repro.tracing) for fault/protocol events.
+        self.tracer = None
+
         # Metrics / event taps.
         self.on_txn_event: Optional[Callable[[str, str, int, Any], None]] = None
         self.commits = 0
@@ -230,6 +255,7 @@ class ReplicatedDatabaseNode:
                 self._finish_local(txn, TxnState.ABORTED, AbortReason.SITE_CRASHED)
         self._local_txns.clear()
         self._delivered.clear()
+        self.db.reset_version_tags()
         self._quiescence_waiters.clear()
         self._serial_queue.clear()
         self._serial_current = None
@@ -241,6 +267,14 @@ class ReplicatedDatabaseNode:
         else:
             self.member.crash()
         self.network.take_down(self.xfer.node_id)
+        if self.storage_faults is not None:
+            corrupt_before = self.storage.corrupt_records
+            affected = self.storage_faults.on_crash(self.storage, self.sim.rng)
+            if affected:
+                corrupted = self.storage.corrupt_records > corrupt_before
+                self.trace("fault", "wal_torn",
+                           f"{affected} unflushed records damaged"
+                           + (", tail corrupted" if corrupted else ""))
         if self.reconfig is not None:
             self.reconfig.on_crash()
 
@@ -249,6 +283,10 @@ class ReplicatedDatabaseNode:
         self.db, recovery = Database.recover_from(
             self.storage, clock=lambda: self.sim.now, partition_fn=self._partition_fn
         )
+        if recovery.tail_torn:
+            self.trace("fault", "wal_checksum",
+                       f"torn tail detected; {recovery.corrupt_records} records "
+                       f"discarded, rejoining from cover {recovery.cover_gid}")
         self.db.rectable.ensure_current()
         # Restore gid-numbering continuity from the log: after a total
         # failure the group must not reuse global sequence numbers that
@@ -269,6 +307,8 @@ class ReplicatedDatabaseNode:
         self.proc.every(self.config.rectable_flush_interval, self._rectable_tick)
         self.proc.every(self.config.cover_announce_interval, self._cover_announce_tick)
         self.network.bring_up(self.xfer.node_id)
+        if self.reconfig is not None:
+            self.reconfig.on_start()
         if self.evs_member is not None:
             self.evs_member.start()
         else:
@@ -416,12 +456,20 @@ class ReplicatedDatabaseNode:
             assert self.evs_member is not None
             self.up_to_date = self.evs_member.in_primary_subview()
             self._handle_membership_change(eview.view, states, eview)
-        elif self.status is SiteStatus.SUSPENDED:
+        elif self.status is not SiteStatus.DOWN:
+            self._refresh_structural_utd(eview)
+        if reason != "view_change" and self.status is SiteStatus.SUSPENDED:
             # A merge e-view change can create the primary subview (e.g.
             # after the creation protocol): sites outside it switch to
             # RECOVERING so they enqueue instead of dropping messages.
+            # So does a data-stale site *inside* it — a companion of the
+            # creation source was carried into the primary subview by
+            # the merge without holding the source's merged state, and
+            # it catches up via transfer like any other joiner.
             primary = eview.primary_subview(len(self.universe))
-            if primary is not None and self.site_id not in primary:
+            if primary is not None and (
+                self.site_id not in primary or not self.up_to_date
+            ):
                 self.status = SiteStatus.RECOVERING
         if self.reconfig is not None and self.status is not SiteStatus.DOWN:
             self.reconfig.on_eview_change(eview, reason, states, gseq)
@@ -451,6 +499,10 @@ class ReplicatedDatabaseNode:
         # their own (possibly outdated) up-to-date claims.
         for site in self.member.stale_members:
             self.site_utd[site] = False
+        # Under EVS the flushed states can predate a Rule III promotion
+        # (they were captured while everyone was still suspended); the
+        # e-view itself is the authoritative source.
+        self._refresh_structural_utd(eview)
         self.site_utd[self.site_id] = self.up_to_date
 
         if not primary:
@@ -463,11 +515,29 @@ class ReplicatedDatabaseNode:
         if in_primary_component and self.up_to_date:
             self.status = SiteStatus.ACTIVE
         elif self._any_up_to_date(view, eview):
-            self.status = SiteStatus.RECOVERING
+            self._demote(SiteStatus.RECOVERING)
         else:
-            self.status = SiteStatus.SUSPENDED
+            self._demote(SiteStatus.SUSPENDED)
         if self.mode == "vs" and self.reconfig is not None:
             self.reconfig.on_view_change(view, states)
+
+    def _refresh_structural_utd(self, eview: Optional[EView]) -> None:
+        """EVS: up-to-dateness is structural (primary subview membership,
+        section 5.2), so every site observing an e-view — including a
+        recovering joiner — can refresh its map of who is up to date.
+        Without this, a joiner whose flushed states predate the merge
+        that activated the primary subview sees no up-to-date member and
+        its transfer-stall watchdog has no peer to solicit from.  A site
+        wrongly presumed up to date (a data-stale companion inside the
+        primary subview) is harmless: the serving side re-checks its own
+        status before honouring a solicit."""
+        if eview is None:
+            return
+        primary = eview.primary_subview(len(self.universe))
+        if primary is None:
+            return
+        for site in eview.view.members:
+            self.site_utd[site] = site in primary
 
     def _in_primary_component(self, eview: Optional[EView]) -> bool:
         if self.mode == "evs":
@@ -506,9 +576,40 @@ class ReplicatedDatabaseNode:
                 if delivered.pending_writes or delivered.applied_writes:
                     self._rollback_delivered(gid)
             self._delivered.clear()
+            self.db.reset_version_tags()
             self._quiescence_waiters.clear()
             self._serial_queue.clear()
             self._serial_current = None
+
+    def _demote(self, status: SiteStatus) -> None:
+        """Stop processing without leaving the primary component.
+
+        The view-change flush delivers messages while this site's status
+        is still the pre-change one, so lock requests and write phases
+        for those transactions may be parked in lock queues or the event
+        scheduler by the time the demotion happens.  They must be torn
+        down the same way :meth:`_stall` does it — rolled back *without*
+        terminating, so the unterminated Begin records keep the cover
+        below them and the upcoming transfer (or creation round) restores
+        them if they committed elsewhere.  Left alone, those write phases
+        would resume after reactivation and commit against a store that
+        was rebuilt as of an older gid, silently diverging the replica.
+        """
+        was_active = self.status is SiteStatus.ACTIVE
+        self.status = status
+        if not was_active:
+            return
+        for txn in list(self._local_txns.values()):
+            if not txn.done:
+                self._abort_local(txn, AbortReason.SITE_LEFT_PRIMARY)
+        for gid, delivered in list(self._delivered.items()):
+            if delivered.pending_writes or delivered.applied_writes:
+                self._rollback_delivered(gid)
+        self._delivered.clear()
+        self.db.reset_version_tags()
+        self._quiescence_waiters.clear()
+        self._serial_queue.clear()
+        self._serial_current = None
 
     def _become_active(self) -> None:
         self.up_to_date = True
@@ -753,6 +854,11 @@ class ReplicatedDatabaseNode:
         self.xfer.send(f"{site}:xfer", payload)
 
     # ------------------------------------------------------------------
+    def trace(self, category: str, kind: str, detail: str = "") -> None:
+        """Record a protocol/fault event with the attached tracer, if any."""
+        if self.tracer is not None:
+            self.tracer.emit(self.site_id, category, kind, detail)
+
     def _emit(self, kind: str, gid: int, message: TransactionMessage) -> None:
         if self.on_txn_event is not None:
             self.on_txn_event(self.site_id, kind, gid, message)

@@ -20,7 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 class TraceEvent:
     time: float
     site: str
-    category: str  # "view" | "eview" | "status" | "transfer" | "txn" | "creation"
+    category: str  # "view" | "eview" | "status" | "transfer" | "txn" | "creation" | "fault"
     kind: str
     detail: str = ""
 
@@ -98,6 +98,9 @@ def attach_tracer(cluster) -> Tracer:
 
 def _instrument_node(tracer: Tracer, node) -> None:
     site = node.site_id
+    # Direct channel for layers that emit through node.trace() — fault
+    # injection, transfer retransmission/stall events.
+    node.tracer = tracer
 
     # Status transitions -------------------------------------------------
     original_handle = node._handle_membership_change

@@ -1,0 +1,33 @@
+"""Pinned regression seeds from the chaos-fuzzing campaign.
+
+Each configuration below once produced a safety or liveness violation
+under the default chaos storm (see docs/PROTOCOLS.md, "Fault model");
+they must stay green.  The chaos engine itself asserts the full
+invariant suite on quiescence, so ``report.ok`` is the whole assertion.
+"""
+
+import pytest
+
+from repro.faults.chaos import run_chaos
+
+CASES = [
+    # (mode, seed) -> the bug the run originally exposed
+    ("evs", 9),   # Ordered discarded while frozen for an aborted round:
+                  # top-of-sequence loss with no gap below it, never NAKed
+    ("evs", 2),   # creation round state kept across views: the old
+                  # source skipped its CreationReport in a later view
+    ("evs", 14),  # creation source's subview companion never offered a
+                  # transfer and never demoted to RECOVERING
+    ("evs", 23),  # zombie write phases: transactions rolled back at
+                  # suspension resumed from the lock queues and committed
+                  # against the creation protocol's rebuilt state
+    ("evs", 12),  # stale version tags of rolled-back writers diverged a
+                  # later version check across sites
+    ("vs", 23),   # VS-mode smoke over the same storm shape
+]
+
+
+@pytest.mark.parametrize("mode,seed", CASES)
+def test_pinned_chaos_regressions(mode, seed):
+    report = run_chaos(seed=seed, mode=mode)
+    assert report.ok, f"chaos {mode} seed={seed}: {report.error}"

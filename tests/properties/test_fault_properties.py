@@ -1,0 +1,143 @@
+"""Property-based tests for the fault-injection layer.
+
+Two levels: algebraic properties of the injectors themselves (cheap,
+many examples) and end-to-end safety of small clusters under randomly
+composed injectors (expensive, few examples)."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro import ClusterBuilder, LoadGenerator, WorkloadConfig
+from repro.checkers import (
+    check_convergence,
+    check_decision_agreement,
+    check_gid_consistency,
+    check_one_copy_serializability,
+)
+from repro.db.wal import BeginRecord, CommitRecord, PersistentStorage, WriteRecord
+from repro.faults.injectors import (
+    DuplicateInjector,
+    LatencySpikeInjector,
+    OneWayLinkInjector,
+    ReorderInjector,
+)
+from repro.faults.storage import TornTailFaults
+
+
+# ----------------------------------------------------------------------
+# Injector algebra
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(0, 10_000),
+    rate=st.floats(0.0, 1.0),
+    delays=st.lists(st.floats(0.0001, 0.1), min_size=1, max_size=5),
+)
+@settings(deadline=None)
+def test_reorder_preserves_count_and_bounds(seed, rate, delays):
+    injector = ReorderInjector(rate=max(rate, 1e-9), max_extra=0.05)
+    out = injector.transform("S1", "S2", None, list(delays), random.Random(seed), 0.0)
+    assert len(out) == len(delays)
+    for before, after in zip(delays, out):
+        assert before <= after <= before + 0.05
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    copies=st.integers(1, 3),
+    delays=st.lists(st.floats(0.0001, 0.1), min_size=1, max_size=4),
+)
+@settings(deadline=None)
+def test_duplicate_only_adds_never_removes(seed, copies, delays):
+    injector = DuplicateInjector(rate=0.5, copies=copies, spread=0.01)
+    out = injector.transform("S1", "S2", None, list(delays), random.Random(seed), 0.0)
+    assert len(delays) <= len(out) <= len(delays) * (1 + copies)
+    # The original schedule survives as a prefix.
+    assert out[: len(delays)] == delays
+
+
+@given(seed=st.integers(0, 10_000), loss=st.floats(0.0, 1.0))
+@settings(deadline=None)
+def test_one_way_never_touches_other_links(seed, loss):
+    injector = OneWayLinkInjector("S1", "S2", loss_rate=loss)
+    rng = random.Random(seed)
+    for src, dst in [("S2", "S1"), ("S1", "S3"), ("S3", "S2"), ("S2:xfer", "S1:xfer")]:
+        assert injector.transform(src, dst, None, [0.001], rng, 0.0) == [0.001]
+
+
+@given(seed=st.integers(0, 10_000), now=st.floats(0.0, 10.0))
+@settings(deadline=None)
+def test_latency_spike_never_drops_or_reorders_schedule(seed, now):
+    injector = LatencySpikeInjector(rate=1.0, spike=0.2, burst_duration=0.5)
+    delays = [0.001, 0.002, 0.003]
+    out = injector.transform("S1", "S2", None, list(delays), random.Random(seed), now)
+    assert len(out) == len(delays)
+    assert sorted(out) == out
+
+
+# ----------------------------------------------------------------------
+# Torn-tail / checksum properties
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(0, 10_000),
+    n_flushed=st.integers(0, 5),
+    n_dirty=st.integers(0, 5),
+)
+@settings(deadline=None)
+def test_torn_tail_never_damages_durable_prefix(seed, n_flushed, n_dirty):
+    storage = PersistentStorage()
+    for gid in range(n_flushed):
+        storage.append(BeginRecord(gid))
+        storage.append(WriteRecord(gid, f"x{gid}", None, -1, gid))
+        storage.append(CommitRecord(gid))
+    storage.flush()
+    durable = len(storage)
+    for gid in range(100, 100 + n_dirty):
+        storage.append(BeginRecord(gid))
+    model = TornTailFaults(tear_probability=1.0, corrupt_probability=0.5)
+    model.on_crash(storage, random.Random(seed))
+    clean, corrupt_at = storage.verified_records()
+    assert len(clean) >= durable
+    assert [r for r in clean[:durable]] == list(storage.records())[:durable]
+    if corrupt_at is not None:
+        assert corrupt_at >= durable
+
+
+# ----------------------------------------------------------------------
+# End-to-end: random injector compositions never break safety
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(0, 100_000),
+    dup_rate=st.sampled_from([0.0, 0.1, 0.3]),
+    reorder_rate=st.sampled_from([0.0, 0.2, 0.5]),
+    one_way=st.booleans(),
+)
+@settings(max_examples=8, deadline=None, suppress_health_check=list(HealthCheck))
+def test_safety_under_composed_injectors(seed, dup_rate, reorder_rate, one_way):
+    cluster = ClusterBuilder(n_sites=3, db_size=40, seed=seed,
+                             strategy="rectable").build()
+    if dup_rate:
+        cluster.network.add_injector(DuplicateInjector(rate=dup_rate, spread=0.01))
+    if reorder_rate:
+        cluster.network.add_injector(ReorderInjector(rate=reorder_rate, max_extra=0.02))
+    cluster.start()
+    if not cluster.await_all_active(timeout=20):
+        return  # liveness may suffer; safety is what we check
+    load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=60, reads_per_txn=1,
+                                                 writes_per_txn=2))
+    load.start()
+    cluster.run_for(0.5)
+    removable = None
+    if one_way:
+        removable = cluster.network.add_injector(
+            OneWayLinkInjector("S1", "S3", loss_rate=0.7))
+    cluster.run_for(0.8)
+    if removable is not None:
+        cluster.network.remove_injector(removable)
+    cluster.run_for(0.7)
+    load.stop()
+    cluster.settle(2.0)
+    check_gid_consistency(cluster.history)
+    check_decision_agreement(cluster.history)
+    check_one_copy_serializability(cluster.history)

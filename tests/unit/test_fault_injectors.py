@@ -1,0 +1,156 @@
+"""Unit tests for the composable network fault injectors."""
+
+import random
+
+import pytest
+
+from repro.faults.injectors import (
+    DuplicateInjector,
+    FaultInjector,
+    LatencySpikeInjector,
+    OneWayLinkInjector,
+    ReorderInjector,
+    site_of,
+)
+from repro.net.latency import FixedLatency
+from repro.net.network import Network
+from repro.sim.core import Simulator
+
+
+def apply(injector, delays, seed=1, src="S1", dst="S2", now=0.0):
+    return injector.transform(src, dst, None, list(delays), random.Random(seed), now)
+
+
+class TestSiteOf:
+    def test_plain_endpoint(self):
+        assert site_of("S3") == "S3"
+
+    def test_transfer_endpoint(self):
+        assert site_of("S3:xfer") == "S3"
+
+
+class TestDuplicateInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DuplicateInjector(rate=1.5)
+        with pytest.raises(ValueError):
+            DuplicateInjector(copies=0)
+
+    def test_rate_one_always_duplicates(self):
+        out = apply(DuplicateInjector(rate=1.0, copies=2, spread=0.01), [0.001])
+        assert len(out) == 3  # original + 2 copies
+
+    def test_rate_zero_is_identity(self):
+        assert apply(DuplicateInjector(rate=0.0), [0.001]) == [0.001]
+
+    def test_copies_scheduled_after_original(self):
+        out = apply(DuplicateInjector(rate=1.0, copies=1, spread=0.01), [0.005])
+        assert out[0] == 0.005
+        assert out[1] >= 0.005
+
+
+class TestReorderInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReorderInjector(rate=-0.1)
+        with pytest.raises(ValueError):
+            ReorderInjector(max_extra=0.0)
+
+    def test_extra_delay_is_bounded(self):
+        injector = ReorderInjector(rate=1.0, max_extra=0.05)
+        for seed in range(50):
+            (out,) = apply(injector, [0.001], seed=seed)
+            assert 0.001 <= out <= 0.001 + 0.05
+
+    def test_never_drops_or_duplicates(self):
+        out = apply(ReorderInjector(rate=1.0, max_extra=0.05), [0.001, 0.002])
+        assert len(out) == 2
+
+
+class TestOneWayLinkInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OneWayLinkInjector("S1", "S2", loss_rate=2.0)
+        with pytest.raises(ValueError):
+            OneWayLinkInjector("S1", "S2", extra_latency=-1.0)
+
+    def test_full_blackout_drops_matching_direction(self):
+        injector = OneWayLinkInjector("S1", "S2", loss_rate=1.0)
+        assert apply(injector, [0.001], src="S1", dst="S2") == []
+
+    def test_reverse_direction_untouched(self):
+        injector = OneWayLinkInjector("S1", "S2", loss_rate=1.0)
+        assert apply(injector, [0.001], src="S2", dst="S1") == [0.001]
+
+    def test_transfer_endpoints_match_by_site_prefix(self):
+        injector = OneWayLinkInjector("S1", "S2", loss_rate=1.0)
+        assert apply(injector, [0.001], src="S1:xfer", dst="S2:xfer") == []
+
+    def test_extra_latency_without_loss(self):
+        injector = OneWayLinkInjector("S1", "S2", loss_rate=0.0, extra_latency=0.2)
+        assert apply(injector, [0.001], src="S1", dst="S2") == [pytest.approx(0.201)]
+
+
+class TestLatencySpikeInjector:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencySpikeInjector(rate=1.5)
+        with pytest.raises(ValueError):
+            LatencySpikeInjector(spike=-0.1)
+
+    def test_burst_applies_to_all_messages_while_active(self):
+        injector = LatencySpikeInjector(rate=1.0, spike=0.5, burst_duration=1.0)
+        (first,) = apply(injector, [0.001], now=0.0)
+        assert first == pytest.approx(0.501)
+        # Still inside the burst window: even a rate-0 draw is spiked.
+        (second,) = apply(injector, [0.002], now=0.5)
+        assert second == pytest.approx(0.502)
+
+    def test_burst_expires(self):
+        injector = LatencySpikeInjector(rate=1.0, spike=0.5, burst_duration=0.1)
+        apply(injector, [0.001], now=0.0)
+        assert not injector.in_burst(0.2)
+
+
+class TestComposition:
+    def make_net(self):
+        sim = Simulator(seed=7)
+        net = Network(sim, latency=FixedLatency(0.001))
+        inbox = []
+        net.endpoint("S2").attach(lambda src, payload: inbox.append(payload))
+        net.endpoint("S1").attach(lambda src, payload: None)
+        net.bring_up("S1")
+        net.bring_up("S2")
+        return sim, net, inbox
+
+    def test_injector_pipeline_applies_left_to_right(self):
+        sim, net, inbox = self.make_net()
+        net.add_injector(DuplicateInjector(rate=1.0, copies=1, spread=0.01))
+        net.add_injector(OneWayLinkInjector("S1", "S2", loss_rate=1.0))
+        net.send("S1", "S2", "m")
+        sim.run()
+        # The duplicate is produced first, then the blackout eats both.
+        assert inbox == []
+
+    def test_remove_injector_restores_delivery(self):
+        sim, net, inbox = self.make_net()
+        blackout = net.add_injector(OneWayLinkInjector("S1", "S2", loss_rate=1.0))
+        net.send("S1", "S2", "lost")
+        net.remove_injector(blackout)
+        net.send("S1", "S2", "kept")
+        sim.run()
+        assert inbox == ["kept"]
+
+    def test_duplicates_are_delivered(self):
+        sim, net, inbox = self.make_net()
+        net.add_injector(DuplicateInjector(rate=1.0, copies=2, spread=0.01))
+        net.send("S1", "S2", "m")
+        sim.run()
+        assert inbox == ["m", "m", "m"]
+
+    def test_base_injector_is_identity(self):
+        sim, net, inbox = self.make_net()
+        net.add_injector(FaultInjector())
+        net.send("S1", "S2", "m")
+        sim.run()
+        assert inbox == ["m"]

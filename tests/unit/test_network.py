@@ -192,3 +192,44 @@ class TestPartitions:
         components = net.components()
         assert {"A", "B"} in components
         assert {"C"} in components
+
+
+class TestLossRateValidation:
+    def test_constructor_rejects_nan(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            Network(sim, latency=FixedLatency(0.001), loss_rate=float("nan"))
+
+    def test_set_loss_rate_rejects_nan(self):
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.set_loss_rate(float("nan"))
+
+    def test_set_loss_rate_rejects_one(self):
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.set_loss_rate(1.0)
+
+    def test_set_loss_rate_rejects_negative(self):
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.set_loss_rate(-0.01)
+
+    def test_set_loss_rate_rejects_non_numbers(self):
+        sim, net = make_net()
+        with pytest.raises(ValueError):
+            net.set_loss_rate("0.1")
+        with pytest.raises(ValueError):
+            net.set_loss_rate(True)
+
+    def test_set_loss_rate_accepts_boundaries(self):
+        sim, net = make_net()
+        net.set_loss_rate(0.0)
+        assert net.loss_rate == 0.0
+        net.set_loss_rate(0.999)
+        assert net.loss_rate == 0.999
+
+    def test_set_loss_rate_accepts_int_zero(self):
+        sim, net = make_net()
+        net.set_loss_rate(0)
+        assert net.loss_rate == 0.0

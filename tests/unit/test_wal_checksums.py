@@ -1,0 +1,137 @@
+"""Per-record WAL checksums, torn tails, and recovery truncation."""
+
+import pytest
+
+from repro.db.recovery import run_single_site_recovery
+from repro.db.wal import (
+    BeginRecord,
+    CommitRecord,
+    PersistentStorage,
+    WriteRecord,
+    record_checksum,
+)
+from repro.faults.storage import TornTailFaults
+
+
+def filled_storage(n_txns: int = 3, flush_every: bool = True) -> PersistentStorage:
+    storage = PersistentStorage()
+    for gid in range(n_txns):
+        storage.append(BeginRecord(gid))
+        storage.append(WriteRecord(gid, f"x{gid}", None, -1, gid * 10))
+        storage.append(CommitRecord(gid))
+        if flush_every:
+            storage.flush()
+    return storage
+
+
+class TestChecksums:
+    def test_checksum_is_deterministic(self):
+        a = record_checksum(BeginRecord(7))
+        b = record_checksum(BeginRecord(7))
+        assert a == b
+
+    def test_checksum_distinguishes_records(self):
+        assert record_checksum(BeginRecord(7)) != record_checksum(BeginRecord(8))
+        assert record_checksum(CommitRecord(7)) != record_checksum(BeginRecord(7))
+
+    def test_clean_log_verifies_fully(self):
+        storage = filled_storage()
+        records, corrupt_at = storage.verified_records()
+        assert corrupt_at is None
+        assert len(records) == len(storage)
+
+    def test_corrupt_record_detected_at_index(self):
+        storage = filled_storage(flush_every=False)
+        storage.tear_tail(keep_unflushed=4, corrupt_next=True)
+        _, corrupt_at = storage.verified_records()
+        assert corrupt_at == 4
+        assert storage.corrupt_records == 1
+
+
+class TestTearTail:
+    def test_tear_drops_only_unflushed_suffix(self):
+        storage = PersistentStorage()
+        storage.append(BeginRecord(0))
+        storage.flush()
+        storage.append(BeginRecord(1))
+        storage.append(BeginRecord(2))
+        dropped = storage.tear_tail(keep_unflushed=1)
+        assert dropped == 1
+        kept = list(storage.records())
+        assert [r.gid for r in kept] == [0, 1]
+
+    def test_tear_never_touches_durable_prefix(self):
+        storage = filled_storage(n_txns=2, flush_every=True)
+        durable = len(storage)
+        storage.append(BeginRecord(99))  # volatile tail
+        storage.tear_tail(keep_unflushed=0)
+        assert len(storage) == durable
+        _, corrupt_at = storage.verified_records()
+        assert corrupt_at is None
+
+    def test_truncate_at_removes_corrupt_tail(self):
+        storage = filled_storage(flush_every=False)
+        storage.tear_tail(keep_unflushed=5, corrupt_next=True)
+        _, corrupt_at = storage.verified_records()
+        removed = storage.truncate_at(corrupt_at)
+        assert removed >= 1
+        _, corrupt_after = storage.verified_records()
+        assert corrupt_after is None
+
+
+class TestRecoveryAfterTear:
+    def test_recovery_truncates_at_first_corrupt_record(self):
+        storage = filled_storage(n_txns=3, flush_every=False)
+        # Corrupt from record 4 onwards: only txn 0 (records 0-2) plus
+        # the Begin of txn 1 survive as the clean prefix.
+        storage.tear_tail(keep_unflushed=4, corrupt_next=True)
+        result = run_single_site_recovery(storage)
+        assert result.tail_torn
+        assert result.corrupt_records >= 1
+        assert result.committed_gids == {0}
+        # Cover stops below the now-unterminated txn 1.
+        assert result.cover_gid == 0
+
+    def test_recovery_of_clean_log_reports_no_tear(self):
+        storage = filled_storage()
+        result = run_single_site_recovery(storage)
+        assert not result.tail_torn
+        assert result.corrupt_records == 0
+        assert result.committed_gids == {0, 1, 2}
+
+
+class TestTornTailFaultsModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TornTailFaults(tear_probability=1.5)
+        with pytest.raises(ValueError):
+            TornTailFaults(corrupt_probability=-0.1)
+
+    def test_no_unflushed_records_means_no_damage(self):
+        import random
+
+        storage = filled_storage()
+        model = TornTailFaults(tear_probability=1.0)
+        assert model.on_crash(storage, random.Random(1)) == 0
+        assert model.tears == 0
+
+    def test_certain_tear_damages_dirty_tail(self):
+        import random
+
+        storage = filled_storage(flush_every=False)
+        model = TornTailFaults(tear_probability=1.0, corrupt_probability=0.0)
+        affected = model.on_crash(storage, random.Random(1))
+        assert affected >= 1
+        assert model.tears == 1
+        _, corrupt_at = storage.verified_records()
+        assert corrupt_at is None  # clean tear, no corruption requested
+
+    def test_corrupting_tear_leaves_checksum_mismatch(self):
+        import random
+
+        storage = filled_storage(flush_every=False)
+        model = TornTailFaults(tear_probability=1.0, corrupt_probability=1.0)
+        model.on_crash(storage, random.Random(3))
+        assert model.corruptions == 1
+        _, corrupt_at = storage.verified_records()
+        assert corrupt_at is not None
