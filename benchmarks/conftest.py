@@ -10,6 +10,36 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+import pytest
+
+from repro import scenarios
+
+
+@pytest.fixture(autouse=True)
+def verify_scenario_reports():
+    """Re-verify every scenario a benchmark ran.
+
+    Benchmarks measure; they should not each repeat the correctness
+    boilerplate.  This hook collects every :class:`ScenarioReport`
+    produced during the test (via the scenarios report-hook registry)
+    and asserts after the fact that the scenario completed and that its
+    cluster still passes the full invariant check — so a benchmark can
+    never silently time a broken or unfinished run.
+    """
+    reports: List[scenarios.ScenarioReport] = []
+    hook = scenarios.add_report_hook(reports.append)
+    try:
+        yield reports
+    finally:
+        scenarios.remove_report_hook(hook)
+    for report in reports:
+        assert report.completed, (
+            f"benchmarked scenario did not complete: mode={report.mode} "
+            f"strategy={report.strategy} notes={report.notes}"
+        )
+        if report.cluster is not None:
+            report.cluster.check()
+
 
 def print_table(title: str, header: Sequence[str], rows: List[Sequence]) -> None:
     """Render a fixed-width results table to stdout."""

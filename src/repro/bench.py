@@ -1,0 +1,237 @@
+"""The pinned benchmark matrix behind ``python -m repro bench``.
+
+Four scenarios, fixed seeds and workloads, so successive runs (and CI
+runs against a committed baseline) measure the same simulation:
+
+* ``throughput`` — 5 sites, steady 400 txn/s OLTP load, no faults; the
+  hot-path scenario the batching work targets.
+* ``figure1``   — the paper's Figure 1 cascading reconfiguration (VS).
+* ``figure2_evs`` — the same schedule under EVS (Figure 2).
+* ``chaos``     — one pinned seeded fault storm (seed 3).
+
+Each scenario reports wall-clock seconds, simulated seconds, commits,
+**simulated commits per wall-clock second** (the headline metric:
+batching must not change any virtual-time outcome, so all speedups show
+up here and only here), events processed, network messages delivered and
+transfer bytes.  Results are written as machine-readable JSON
+(``BENCH_results.json``); ``--baseline`` compares against a committed
+baseline file and fails the run when the headline metric regresses
+beyond the tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.cluster import ClusterBuilder
+from repro.workload.generator import LoadGenerator, WorkloadConfig
+
+#: Bump when the result-file layout changes.
+SCHEMA_VERSION = 1
+
+#: Default regression tolerance for --baseline comparisons: fail when a
+#: scenario's commits_per_wall_second drops more than this fraction
+#: below the baseline value.
+DEFAULT_TOLERANCE = 0.20
+
+
+@dataclass
+class BenchResult:
+    """One scenario's measurement (one row of BENCH_results.json)."""
+
+    name: str
+    completed: bool
+    wall_seconds: float
+    sim_seconds: float
+    commits: int
+    commits_per_wall_second: float
+    events_processed: int
+    messages_delivered: int
+    transfer_bytes: int
+
+
+def _result(name: str, completed: bool, wall: float, sim_seconds: float,
+            commits: int, events: int, messages: int,
+            transfer_bytes: int) -> BenchResult:
+    return BenchResult(
+        name=name,
+        completed=completed,
+        wall_seconds=round(wall, 4),
+        sim_seconds=round(sim_seconds, 4),
+        commits=commits,
+        commits_per_wall_second=round(commits / wall, 1) if wall > 0 else 0.0,
+        events_processed=events,
+        messages_delivered=messages,
+        transfer_bytes=transfer_bytes,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def bench_throughput(smoke: bool = False, batching: bool = True) -> BenchResult:
+    """Steady-state OLTP load on five sites, no faults."""
+    duration = 1.5 if smoke else 6.0
+    cluster = ClusterBuilder(n_sites=5, db_size=200, seed=11,
+                             batching=batching).build()
+    cluster.start()
+    completed = cluster.await_all_active(timeout=15)
+    load = LoadGenerator(cluster, WorkloadConfig(
+        arrival_rate=400.0, reads_per_txn=2, writes_per_txn=2))
+    load.start()
+    start = time.perf_counter()
+    cluster.run_for(duration)
+    load.stop()
+    cluster.settle(0.5)
+    wall = time.perf_counter() - start
+    cluster.check()
+    return _result(
+        "throughput", completed, wall, cluster.sim.now,
+        cluster.total_commits(), cluster.sim.events_processed,
+        cluster.network.messages_delivered,
+        cluster.metrics_summary()["bytes_transferred"],
+    )
+
+
+def bench_figure(mode: str, smoke: bool = False,
+                 batching: bool = True) -> BenchResult:
+    """The Figure 1 (VS) / Figure 2 (EVS) cascading reconfiguration."""
+    from repro.scenarios import run_figure1_scenario
+
+    kwargs: Dict[str, Any] = dict(mode=mode, strategy="rectable", seed=17)
+    if smoke:
+        kwargs.update(db_size=120, arrival_rate=50.0)
+    start = time.perf_counter()
+    report = run_figure1_scenario(batching=batching, **kwargs)
+    wall = time.perf_counter() - start
+    cluster = report.cluster
+    return _result(
+        "figure1" if mode == "vs" else "figure2_evs",
+        report.completed, wall, report.duration, report.commits,
+        cluster.sim.events_processed if cluster is not None else 0,
+        cluster.network.messages_delivered if cluster is not None else 0,
+        cluster.metrics_summary()["bytes_transferred"] if cluster is not None else 0,
+    )
+
+
+def bench_chaos(smoke: bool = False, batching: bool = True) -> BenchResult:
+    """One pinned seeded chaos storm (fault-heavy mixed scenario)."""
+    from repro.faults import ChaosConfig, ChaosEngine
+
+    config = ChaosConfig(seed=3, intensity=0.5, n_sites=4, db_size=40,
+                         duration=1.5 if smoke else 3.0,
+                         arrival_rate=60.0, batching=batching)
+    start = time.perf_counter()
+    report = ChaosEngine(config).run()
+    wall = time.perf_counter() - start
+    metrics = report.metrics
+    return _result(
+        "chaos", report.ok, wall,
+        float(metrics.get("virtual_time", 0.0)),
+        int(metrics.get("commits", 0)),
+        int(metrics.get("events_processed", 0)),
+        int(metrics.get("network_messages", 0)),
+        int(metrics.get("bytes_transferred", 0)),
+    )
+
+
+SCENARIOS = ("throughput", "figure1", "figure2_evs", "chaos")
+
+
+def run_matrix(smoke: bool = False, batching: bool = True,
+               only: Optional[List[str]] = None,
+               best_of: int = 1) -> Dict[str, Any]:
+    """Run the pinned matrix; returns the BENCH_results.json payload.
+
+    ``best_of`` repeats each scenario and keeps the repetition with the
+    highest commits/s.  The simulation itself is deterministic, so
+    repetitions differ only in wall-clock noise — and a regression gate
+    only cares about downward deviation, for which best-of-N is the
+    right estimator.
+    """
+    runners = {
+        "throughput": lambda: bench_throughput(smoke, batching),
+        "figure1": lambda: bench_figure("vs", smoke, batching),
+        "figure2_evs": lambda: bench_figure("evs", smoke, batching),
+        "chaos": lambda: bench_chaos(smoke, batching),
+    }
+    names = list(only) if only else list(SCENARIOS)
+    results: Dict[str, Dict[str, Any]] = {}
+    for name in names:
+        best: Optional[BenchResult] = None
+        for _ in range(max(1, best_of)):
+            result = runners[name]()
+            if best is None or result.commits_per_wall_second > best.commits_per_wall_second:
+                best = result
+        results[name] = asdict(best)
+    return {
+        "schema": SCHEMA_VERSION,
+        "smoke": smoke,
+        "batching": batching,
+        "best_of": max(1, best_of),
+        "python": platform.python_version(),
+        "scenarios": results,
+    }
+
+
+# ----------------------------------------------------------------------
+# Baseline comparison (CI regression gate)
+# ----------------------------------------------------------------------
+def compare_to_baseline(results: Dict[str, Any], baseline: Dict[str, Any],
+                        tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
+    """Return one failure message per scenario whose simulated
+    commits/s fell more than ``tolerance`` below the baseline."""
+    failures: List[str] = []
+    for name, row in results.get("scenarios", {}).items():
+        base_row = baseline.get("scenarios", {}).get(name)
+        if base_row is None:
+            continue
+        base = base_row.get("commits_per_wall_second", 0.0)
+        current = row.get("commits_per_wall_second", 0.0)
+        if base > 0 and current < base * (1.0 - tolerance):
+            failures.append(
+                f"{name}: {current:.1f} commits/s is more than "
+                f"{tolerance:.0%} below baseline {base:.1f}"
+            )
+        if not row.get("completed", False):
+            failures.append(f"{name}: scenario did not complete")
+    return failures
+
+
+def main(smoke: bool = False, batching: bool = True,
+         output: str = "BENCH_results.json",
+         baseline: Optional[str] = None,
+         tolerance: float = DEFAULT_TOLERANCE,
+         only: Optional[List[str]] = None,
+         best_of: int = 1) -> int:
+    results = run_matrix(smoke=smoke, batching=batching, only=only,
+                         best_of=best_of)
+    header = (f"{'scenario':14s} {'wall s':>8s} {'sim s':>8s} {'commits':>8s} "
+              f"{'commits/s':>10s} {'events':>9s} {'messages':>9s} {'xfer B':>9s}")
+    print(header)
+    print("-" * len(header))
+    for name, row in results["scenarios"].items():
+        print(f"{name:14s} {row['wall_seconds']:8.3f} {row['sim_seconds']:8.2f} "
+              f"{row['commits']:8d} {row['commits_per_wall_second']:10.1f} "
+              f"{row['events_processed']:9d} {row['messages_delivered']:9d} "
+              f"{row['transfer_bytes']:9d}"
+              + ("" if row["completed"] else "   [INCOMPLETE]"))
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nresults written to {output}")
+    if baseline is not None:
+        with open(baseline, "r", encoding="utf-8") as handle:
+            base = json.load(handle)
+        failures = compare_to_baseline(results, base, tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression beyond {tolerance:.0%} vs {baseline}")
+    return 0

@@ -8,6 +8,7 @@ Usage::
     python -m repro figure1 --mode evs           # the cascading scenario
     python -m repro trace --mode evs             # recovery with a timeline
     python -m repro chaos --seed 3 --intensity 0.5   # randomized fault storm
+    python -m repro bench --output BENCH_results.json    # pinned benchmark matrix
 
 Every command runs a deterministic simulation and prints its results;
 pass ``--seed`` to vary the run.
@@ -147,6 +148,21 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro import bench
+
+    only = args.scenario or None
+    return bench.main(
+        smoke=args.smoke,
+        batching=not args.no_batching,
+        output=args.output,
+        baseline=args.baseline,
+        tolerance=args.tolerance,
+        only=only,
+        best_of=args.best_of,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -197,6 +213,30 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--timeline", action="store_true",
                        help="also print the full trace timeline")
     chaos.set_defaults(fn=_cmd_chaos)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the pinned benchmark matrix, write BENCH_results.json",
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="reduced scale for CI (shorter durations)")
+    bench.add_argument("--no-batching", action="store_true",
+                       help="disable hot-path batching (baseline measurement)")
+    bench.add_argument("--output", default="BENCH_results.json",
+                       help="where to write the JSON results (default %(default)s)")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline JSON to compare against; exit 1 on "
+                            "commits/s regression beyond the tolerance")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="allowed fractional regression vs the baseline "
+                            "(default %(default)s)")
+    bench.add_argument("--scenario", action="append",
+                       choices=("throughput", "figure1", "figure2_evs", "chaos"),
+                       help="run only the given scenario (repeatable)")
+    bench.add_argument("--best-of", type=int, default=1,
+                       help="repeat each scenario N times, report the fastest "
+                            "(wall-clock noise reduction; default %(default)s)")
+    bench.set_defaults(fn=_cmd_bench)
 
     return parser
 

@@ -9,7 +9,7 @@ of the paper's Figures 1 and 2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.checkers import HistoryRecorder, run_all_checks
@@ -77,6 +77,7 @@ class ClusterBuilder:
         loss_rate: float = 0.0,
         initial_sites: Optional[Sequence[str]] = None,
         initial_value: Any = 0,
+        batching: bool = True,
     ) -> None:
         self.n_sites = n_sites
         self.db_size = db_size
@@ -89,13 +90,20 @@ class ClusterBuilder:
         self.loss_rate = loss_rate
         self.initial_sites = list(initial_sites) if initial_sites is not None else None
         self.initial_value = initial_value
+        #: Master switch for the hot-path batching layers (network
+        #: same-tick coalescing, sequencer OrderedBatch staging, bulk
+        #: write application).  Batching is behaviour-preserving — the
+        #: switch exists for the equivalence tests and for measuring the
+        #: wall-clock speedup (``python -m repro bench``).
+        self.batching = batching
 
     def site_names(self) -> Tuple[str, ...]:
         return tuple(f"S{i + 1}" for i in range(self.n_sites))
 
     def build(self) -> "Cluster":
         sim = Simulator(seed=self.seed)
-        network = Network(sim, latency=self.latency, loss_rate=self.loss_rate)
+        network = Network(sim, latency=self.latency, loss_rate=self.loss_rate,
+                          coalesce=self.batching)
         universe = self.site_names()
         initial_db = {f"obj{i}": self.initial_value for i in range(self.db_size)}
         initial_sites = set(self.initial_sites if self.initial_sites is not None else universe)
@@ -104,10 +112,18 @@ class ClusterBuilder:
         else:
             strategy = self.strategy
 
+        gcs_config = self.gcs_config
+        node_config = self.node_config
+        if not self.batching:
+            # Force every batching layer off, without mutating configs the
+            # caller may reuse elsewhere.
+            gcs_config = replace(gcs_config or GCSConfig(), sequencer_batching=False)
+            node_config = replace(node_config or NodeConfig(), batch_writes=False)
+
         history = HistoryRecorder(clock=lambda: sim.now)
         cluster = Cluster(sim, network, {}, history, strategy, initial_db)
-        cluster._gcs_config = self.gcs_config
-        cluster._node_config = self.node_config
+        cluster._gcs_config = gcs_config
+        cluster._node_config = node_config
         cluster._mode = self.mode
         for site in universe:
             cluster._make_node(site, universe, has_initial_copy=site in initial_sites)

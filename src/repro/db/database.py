@@ -115,7 +115,7 @@ class Database:
         the store (the writer's write phase has not run yet).
         """
         tag = self._tagged_version.get(obj, INITIAL_VERSION)
-        stored = self.store.version(obj) if obj in self.store else INITIAL_VERSION
+        stored = self.store.version_or(obj)
         return max(tag, stored)
 
     def tag_writes(self, gid: int, objs) -> None:
@@ -134,10 +134,7 @@ class Database:
     # ------------------------------------------------------------------
     def apply_write(self, gid: int, obj: str, value: Any) -> None:
         """Install one write (logging physical before/after images)."""
-        if obj in self.store:
-            before_value, before_version = self.store.read(obj)
-        else:
-            before_value, before_version = None, INITIAL_VERSION
+        before_value, before_version = self.store.peek(obj)
         self.storage.append(WriteRecord(gid, obj, before_value, before_version, value))
         self._uncommitted_writes.setdefault(gid, []).append((obj, before_value, before_version))
         # Multiversion support for the log-filter transfer strategy

@@ -94,6 +94,9 @@ class LockManager:
         # resource -> {txn_id: mode} (a txn holds at most one mode per resource;
         # EXCLUSIVE subsumes SHARED on upgrade).
         self._holders: Dict[str, Dict[str, LockMode]] = {}
+        # txn_id -> resources it holds; mirror of _holders so releasing
+        # a whole transaction is O(locks held), not O(locks held by all).
+        self._held_by: Dict[str, Set[str]] = {}
         self._waiting: List[LockRequest] = []
         self.wait_times: List[float] = []
         self.grants = 0
@@ -103,6 +106,17 @@ class LockManager:
     # ------------------------------------------------------------------
     def holders(self, resource: str) -> Dict[str, LockMode]:
         return dict(self._holders.get(resource, {}))
+
+    def holder_items(self, resource: str) -> Tuple[Tuple[str, LockMode], ...]:
+        """Snapshot of ``holders(resource).items()`` as a tuple.
+
+        Safe to iterate while releasing locks, and free for the common
+        case of an uncontended resource (no dict is allocated).
+        """
+        holders = self._holders.get(resource)
+        if not holders:
+            return ()
+        return tuple(holders.items())
 
     def holds(self, txn_id: str, resource: str) -> bool:
         return txn_id in self._holders.get(resource, {})
@@ -116,9 +130,7 @@ class LockManager:
     def waiting_for(self, request: LockRequest) -> Set[str]:
         """Transaction ids this waiting request is blocked behind."""
         blockers: Set[str] = set()
-        for resource, holders in self._holders.items():
-            if not self._resources_overlap(request.resource, resource):
-                continue
+        for resource, holders in self._overlapping_items(request.resource):
             for txn_id, mode in holders.items():
                 if txn_id != request.txn_id and _conflicting(request.mode, mode):
                     blockers.add(txn_id)
@@ -172,15 +184,19 @@ class LockManager:
     def release(self, txn_id: str, resource: Optional[str] = None) -> None:
         """Release one resource (or, with ``resource=None``, everything)
         held by the transaction, then re-examine the wait queue."""
+        held = self._held_by.get(txn_id)
         if resource is None:
-            resources = [r for r, h in self._holders.items() if txn_id in h]
+            resources = list(held) if held else []
         else:
-            resources = [resource] if txn_id in self._holders.get(resource, {}) else []
+            resources = [resource] if held and resource in held else []
         for res in resources:
+            held.discard(res)
             holders = self._holders[res]
             holders.pop(txn_id, None)
             if not holders:
                 del self._holders[res]
+        if held is not None and not held:
+            del self._held_by[txn_id]
         if resources:
             self._pump()
 
@@ -213,10 +229,28 @@ class LockManager:
                 return self._partition_fn(a) == b
         return False
 
+    def _overlapping_items(self, resource: str):
+        """The held (resource, holders) entries that can overlap
+        ``resource``.  Without partition locks, an object lock overlaps
+        only itself and the database-level lock, so the common case is
+        two dict lookups instead of a scan over everything held."""
+        if self._partition_fn is None and resource != DB_RESOURCE:
+            items = []
+            holders = self._holders.get(resource)
+            if holders is not None:
+                items.append((resource, holders))
+            db_holders = self._holders.get(DB_RESOURCE)
+            if db_holders is not None:
+                items.append((DB_RESOURCE, db_holders))
+            return items
+        return [
+            (other, holders)
+            for other, holders in self._holders.items()
+            if self._resources_overlap(resource, other)
+        ]
+
     def _grantable(self, request: LockRequest) -> bool:
-        for resource, holders in self._holders.items():
-            if not self._resources_overlap(request.resource, resource):
-                continue
+        for resource, holders in self._overlapping_items(request.resource):
             for txn_id, mode in holders.items():
                 if txn_id != request.txn_id and _conflicting(request.mode, mode):
                     return False
@@ -239,6 +273,7 @@ class LockManager:
         current = holders.get(request.txn_id)
         if current is None or request.mode is LockMode.EXCLUSIVE:
             holders[request.txn_id] = request.mode
+        self._held_by.setdefault(request.txn_id, set()).add(request.resource)
         request.granted = True
         request.granted_at = self._clock()
         self.wait_times.append(request.granted_at - request.enqueued_at)

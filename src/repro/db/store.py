@@ -48,6 +48,19 @@ class ObjectStore:
     def version(self, obj: str) -> int:
         return self._version[obj]
 
+    def version_or(self, obj: str, default: int = INITIAL_VERSION) -> int:
+        """The stored version, or ``default`` for unknown objects — one
+        lookup instead of a containment probe plus a read."""
+        return self._version.get(obj, default)
+
+    def peek(self, obj: str) -> Tuple[Any, int]:
+        """Like :meth:`read` but yields ``(None, INITIAL_VERSION)`` for
+        unknown objects instead of raising."""
+        version = self._version.get(obj)
+        if version is None:
+            return None, INITIAL_VERSION
+        return self._data[obj], version
+
     def write(self, obj: str, value: Any, version: int) -> None:
         """Install ``value`` with writer version ``version`` (a gid)."""
         self._data[obj] = value

@@ -102,7 +102,12 @@ class PersistentStorage:
 
     def __init__(self) -> None:
         self.log: List[LogRecord] = []
-        self._crcs: List[int] = []
+        #: Stored checksum per record; ``None`` = not yet materialized.
+        #: CRCs exist to catch crash-time corruption (:meth:`tear_tail`),
+        #: so they are computed lazily — a record that was never exposed
+        #: to a fault trivially checksums clean, and the hot commit path
+        #: skips ~one repr+crc32 per log record.
+        self._crcs: List[Optional[int]] = []
         #: Records below this index survived an explicit flush and can
         #: never be lost or torn by a crash.
         self.durable_length = 0
@@ -115,7 +120,7 @@ class PersistentStorage:
     # ------------------------------------------------------------------
     def append(self, record: LogRecord) -> None:
         self.log.append(record)
-        self._crcs.append(record_checksum(record))
+        self._crcs.append(None)
 
     def flush(self) -> None:
         """Force the whole log to stable storage (fsync)."""
@@ -138,7 +143,8 @@ class PersistentStorage:
         record (or None if every record checksums correctly)."""
         good: List[LogRecord] = []
         for index, record in enumerate(self.log):
-            if self._crcs[index] != record_checksum(record):
+            crc = self._crcs[index]
+            if crc is not None and crc != record_checksum(record):
                 return good, index
             good.append(record)
         return good, None
@@ -172,6 +178,8 @@ class PersistentStorage:
         if keep >= len(self.log):
             return 0
         if corrupt_next:
+            if self._crcs[keep] is None:
+                self._crcs[keep] = record_checksum(self.log[keep])
             self._crcs[keep] ^= 0xDEADBEEF
             self.corrupt_records += 1
             keep += 1
@@ -212,7 +220,7 @@ class PersistentStorage:
             else:
                 kept.append(record)
         self.log = kept
-        self._crcs = [record_checksum(record) for record in kept]
+        self._crcs = [None] * len(kept)
         # Rewriting the log is itself a durable operation.
         self.durable_length = len(self.log)
         return removed

@@ -63,6 +63,10 @@ class ChaosConfig:
     enable_loss_bursts: bool = True
     min_alive: int = 1
     quiesce_timeout: float = 60.0
+    #: Hot-path batching (sequencer, network, bulk writes).  Off gives
+    #: the pre-batching event schedule; histories and final states are
+    #: identical either way (see tests/properties/test_batching_equivalence).
+    batching: bool = True
 
     def validate(self) -> None:
         if not 0.0 <= self.intensity <= 1.0:
@@ -156,6 +160,7 @@ class ChaosEngine:
             seed=config.seed,
             strategy=config.strategy,
             mode=config.mode,
+            batching=config.batching,
         ).build()
         self.cluster = cluster
         attach_tracer(cluster)
@@ -354,6 +359,7 @@ class ChaosEngine:
         report.metrics = cluster.metrics_summary()
         report.metrics["workload_commits"] = len(load.committed())
         report.metrics["workload_aborts"] = len(load.aborted())
+        report.metrics["events_processed"] = cluster.sim.events_processed
         if report.error is not None:
             return report
         stuck = [

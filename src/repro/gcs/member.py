@@ -29,6 +29,7 @@ from repro.gcs.messages import (
     FlushReply,
     Nak,
     Ordered,
+    OrderedBatch,
     Presence,
     Propose,
     Sync,
@@ -240,17 +241,21 @@ class GroupMember(Process):
     def _on_network(self, src: str, payload: Any) -> None:
         if not self.alive:
             return
-        if isinstance(payload, Presence):
-            if self.config.dynamic_universe and payload.sender not in self.universe:
-                self.universe = tuple(sorted(set(self.universe) | {payload.sender}))
-            self.fd.on_presence(payload)
+        # Dispatch in descending traffic order (acks dominate) — every
+        # payload matches exactly one branch, so the order is free.
+        if isinstance(payload, Ack):
+            self.to.on_ack(payload)
+        elif isinstance(payload, Ordered):
+            self.to.on_ordered(payload)
+        elif isinstance(payload, OrderedBatch):
+            self.to.on_ordered_batch(payload)
         elif isinstance(payload, Data):
             if not self._blocked and payload.view_id == self.view.view_id:
                 self.to.on_data(payload)
-        elif isinstance(payload, Ordered):
-            self.to.on_ordered(payload)
-        elif isinstance(payload, Ack):
-            self.to.on_ack(payload)
+        elif isinstance(payload, Presence):
+            if self.config.dynamic_universe and payload.sender not in self.universe:
+                self.universe = tuple(sorted(set(self.universe) | {payload.sender}))
+            self.fd.on_presence(payload)
         elif isinstance(payload, Nak):
             self.to.on_nak(payload)
         elif isinstance(payload, Propose):
@@ -280,10 +285,17 @@ class GroupMember(Process):
             send=self.endpoint.send,
             deliver=self._deliver,
             uniform=self.config.uniform,
+            defer=lambda fn: self.after(0.0, fn),
+            batch=self.config.sequencer_batching,
+            send_many=self.endpoint.send_many,
         )
 
     def freeze_for_flush(self) -> None:
         """Stop sending and delivering while a membership round runs."""
+        # Ship any Ordered messages still staged for end-of-tick batching
+        # first: remote members can then contribute them to their own
+        # flush replies instead of relying solely on the sequencer's cut.
+        self.to.flush_staged()
         self._blocked = True
         self.to.closed = True
 

@@ -56,6 +56,7 @@ class MembershipEngine:
         self._flush_deadline = 0.0
         self._sync_deadline = 0.0
         self._mismatch_since: Optional[float] = None
+        self._pending_reply_round: Optional[RoundId] = None
         self.rounds_initiated = 0
         self.rounds_completed = 0
         self.rounds_aborted = 0
@@ -69,6 +70,7 @@ class MembershipEngine:
         self._round_members = ()
         self._flushes = {}
         self._mismatch_since = None
+        self._pending_reply_round = None
 
     # ------------------------------------------------------------------
     # Periodic driver
@@ -167,9 +169,13 @@ class MembershipEngine:
         if not self.initiating or self.current_round != msg.round_id:
             self.current_round = msg.round_id
             self._sync_deadline = member.sim.now + member.config.round_timeout
+        self._freeze_and_reply(msg.round_id)
+
+    def _freeze_and_reply(self, round_id: RoundId) -> None:
+        member = self.member
         member.freeze_for_flush()
         reply = FlushReply(
-            round_id=msg.round_id,
+            round_id=round_id,
             sender=member.node_id,
             prev_view=member.view,
             delivered_seq=member.to.delivered_seq,
@@ -179,7 +185,7 @@ class MembershipEngine:
             stable_seq=member.to.stable_seq,
             lineage=member.lineage,
         )
-        initiator = msg.round_id[1]
+        initiator = round_id[1]
         if initiator == member.node_id:
             self.on_flush_reply(member.node_id, reply)
         else:
@@ -265,11 +271,15 @@ class MembershipEngine:
             )),
         )
         self.rounds_completed += 1
+        # Ship SYNC to the remote members *before* processing our own:
+        # installing the view locally resubmits pending messages, and
+        # those sends must not outrace SYNC to a member still in the old
+        # view (it would drop them as view-mismatched, stalling delivery
+        # until the sequencer's maintenance push repairs the gap).
         for node in self._round_members:
-            if node == member.node_id:
-                self.on_sync(member.node_id, sync)
-            else:
+            if node != member.node_id:
                 member.endpoint.send(node, sync)
+        self.on_sync(member.node_id, sync)
 
     def on_sync(self, src: str, msg: Sync) -> None:
         member = self.member

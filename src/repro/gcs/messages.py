@@ -60,6 +60,27 @@ class Ordered:
 
 
 @dataclass(frozen=True)
+class OrderedBatch:
+    """Several Ordered messages coalesced into one wire message.
+
+    The sequencer stages the Ordered messages it produces within one
+    delivery round (one simulator tick) and ships a single batch per
+    member instead of one message per Ordered.  Loss of the batch loses
+    all contained messages at once; the per-seq NAK/retransmission path
+    (which always uses plain :class:`Ordered`) repairs the gap exactly as
+    it would for individually lost messages.
+    """
+
+    view_id: ViewId
+    items: Tuple[Ordered, ...]
+    #: Piggybacked cumulative ack of the sequencer (-1 = none): the
+    #: sequencer's own highwater advances when it sequences, and the ack
+    #: it would broadcast travels at the same tick as the batch anyway,
+    #: so it rides along instead of being a separate wire message.
+    ack_high: int = -1
+
+
+@dataclass(frozen=True)
 class Ack:
     """Cumulative acknowledgement: 'I hold all Ordered up to highwater'."""
 

@@ -30,11 +30,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.gcs.messages import Ack, Data, Nak, Ordered
+from repro.gcs.messages import Ack, Data, Nak, Ordered, OrderedBatch
 from repro.gcs.view import View
 
 DeliverFn = Callable[[Ordered], None]
 SendFn = Callable[[str, object], None]
+SendManyFn = Callable[[Tuple[str, ...], object], None]
+DeferFn = Callable[[Callable[[], None]], object]
 
 
 class ViewTotalOrder:
@@ -42,6 +44,13 @@ class ViewTotalOrder:
 
     A fresh instance is created at every view installation; the old one
     is discarded after its flush cut has been extracted.
+
+    When ``defer`` is given and ``batch`` is True, the sequencer stages
+    the Ordered messages produced within one delivery round (one
+    simulator tick) and flushes them as a single :class:`OrderedBatch`
+    per member at the end of the tick — same arrival times, far fewer
+    wire messages.  Local self-delivery stays immediate, so the
+    sequencer's own protocol state is identical either way.
     """
 
     def __init__(
@@ -52,6 +61,9 @@ class ViewTotalOrder:
         send: SendFn,
         deliver: DeliverFn,
         uniform: bool = True,
+        defer: Optional[DeferFn] = None,
+        batch: bool = False,
+        send_many: Optional[SendManyFn] = None,
     ) -> None:
         self.view = view
         self.me = me
@@ -61,17 +73,34 @@ class ViewTotalOrder:
         self.uniform = uniform
         self.sequencer = min(view.members)
         self.closed = False
+        #: Every member but this one, in view order — the broadcast fan-out.
+        self._others: Tuple[str, ...] = tuple(m for m in view.members if m != me)
+        if send_many is None:
+            def send_many(dsts: Tuple[str, ...], payload: object) -> None:
+                for dst in dsts:
+                    send(dst, payload)
+        self._send_many = send_many
 
         # Sequencer-side state.
         self._next_seq = 0
         self._sequenced_msg_ids: set = set()
         self._history: Dict[int, Ordered] = {}
+        self._defer = defer
+        self._batch = batch and defer is not None
+        self._stage: List[Ordered] = []
+        self._flush_scheduled = False
+        self._ack_deferred = False
+        self.batches_sent = 0
 
         # Receiver-side state.
         self.received: Dict[int, Ordered] = {}
         self.recv_highwater = -1  # highest gap-free seq held
         self.delivered_seq = -1  # highest seq delivered to the app
         self.ack_high: Dict[str, int] = {m: -1 for m in view.members}
+        #: Cached min(ack_high.values()); ack_high entries only ever
+        #: increase (in :meth:`on_ack`), so the min is maintained
+        #: incrementally instead of recomputed per ack.
+        self._stable_cache = -1
 
     # ------------------------------------------------------------------
     # Sequencer side
@@ -95,11 +124,43 @@ class ViewTotalOrder:
             payload=msg.payload,
         )
         self._history[seq] = ordered
+        if self._batch:
+            # Stage the remote sends; deliver to self immediately so the
+            # sequencer's own ack/highwater state matches unbatched mode.
+            self._stage.append(ordered)
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                self._defer(self.flush_staged)
+            self.on_ordered(ordered)
+            return
         for member in self.view.members:
             if member == self.me:
                 self.on_ordered(ordered)
             else:
                 self._send(member, ordered)
+
+    def flush_staged(self) -> None:
+        """Ship the Ordered messages staged in the current delivery round
+        as one OrderedBatch per remote member.  Called at end-of-tick by
+        the deferred flush, and synchronously when the view freezes for a
+        membership round so nothing stays staged across a view change."""
+        self._flush_scheduled = False
+        ack_high = self.recv_highwater if self._ack_deferred else -1
+        self._ack_deferred = False
+        if self._stage:
+            items = tuple(self._stage)
+            self._stage.clear()
+            self.batches_sent += 1
+            if len(items) == 1 and ack_high < 0:
+                batch: object = items[0]
+            else:
+                batch = OrderedBatch(view_id=self.view.view_id, items=items,
+                                     ack_high=ack_high)
+            self._send_many(self._others, batch)
+            return
+        if ack_high >= 0:
+            ack = Ack(sender=self.me, view_id=self.view.view_id, highwater=ack_high)
+            self._send_many(self._others, ack)
 
     def on_nak(self, msg: Nak) -> None:
         """Sequencer: retransmit the requested sequence numbers."""
@@ -133,26 +194,69 @@ class ViewTotalOrder:
             self._broadcast_ack()
         self._maybe_deliver()
 
+    def on_ordered_batch(self, batch: OrderedBatch) -> None:
+        """Receive a coalesced round of Ordered messages.
+
+        Record them all, then send a *single* cumulative ack: the acks
+        the per-message path would emit for each item of the batch all
+        travel at the same tick and are subsumed by the final (highest)
+        one, so skipping the intermediates changes no receiver state at
+        any virtual time.  A piggybacked sequencer ack is applied last,
+        in the position its separate wire message would have had."""
+        advanced = False
+        for msg in batch.items:
+            if msg.view_id != self.view.view_id or msg.seq in self.received:
+                continue
+            self.received[msg.seq] = msg
+            while self.recv_highwater + 1 in self.received:
+                self.recv_highwater += 1
+                advanced = True
+        if self.closed:
+            return
+        if advanced:
+            self._broadcast_ack()
+        self._maybe_deliver()
+        if batch.ack_high >= 0:
+            self.on_ack(Ack(sender=self.sequencer, view_id=batch.view_id,
+                            highwater=batch.ack_high))
+
     def on_ack(self, msg: Ack) -> None:
-        if self.closed or msg.view_id != self.view.view_id:
+        if self.closed:
             return
-        if msg.sender not in self.ack_high:
+        vid = msg.view_id
+        # Identity check first: in-process, every message of this view
+        # carries the very ViewId instance the Sync installed, so the
+        # dataclass comparison only runs for cross-view stragglers.
+        if vid is not self.view.view_id and vid != self.view.view_id:
             return
-        if msg.highwater > self.ack_high[msg.sender]:
-            self.ack_high[msg.sender] = msg.highwater
+        prev = self.ack_high.get(msg.sender)
+        if prev is None or msg.highwater <= prev:
+            return
+        self.ack_high[msg.sender] = msg.highwater
+        if prev == self._stable_cache:
+            # The sender may have been the (sole) straggler pinning the
+            # stability horizon: recompute, and only then can a delivery
+            # become possible.
+            stable = min(self.ack_high.values())
+            if stable != self._stable_cache:
+                self._stable_cache = stable
+                self._maybe_deliver()
+        elif not self.uniform:
             self._maybe_deliver()
 
     def _broadcast_ack(self) -> None:
         ack = Ack(sender=self.me, view_id=self.view.view_id, highwater=self.recv_highwater)
-        for member in self.view.members:
-            if member == self.me:
-                self.on_ack(ack)
-            else:
-                self._send(member, ack)
+        self.on_ack(ack)
+        if self._flush_scheduled:
+            # The sequencer mid-round: the staged flush fires at this
+            # same tick and ships one cumulative ack subsuming this one.
+            self._ack_deferred = True
+            return
+        self._send_many(self._others, ack)
 
     def _stable_seq(self) -> int:
         """Highest seq acknowledged by every view member."""
-        return min(self.ack_high.values()) if self.ack_high else -1
+        return self._stable_cache if self.ack_high else -1
 
     @property
     def stable_seq(self) -> int:

@@ -17,7 +17,7 @@ unicast messages through :meth:`Network.send`; multicast is built above.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Dict, Iterable, List, Optional, Set
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.sim.core import Simulator
 from repro.net.latency import LatencyModel, UniformLatency
@@ -70,8 +70,7 @@ class Endpoint:
         self.network.send(self.node_id, dst, payload)
 
     def send_many(self, dsts: Iterable[str], payload: Any) -> None:
-        for dst in dsts:
-            self.network.send(self.node_id, dst, payload)
+        self.network.send_multi(self.node_id, dsts, payload)
 
     def _deliver(self, src: str, payload: Any) -> None:
         if self.up and self._handler is not None:
@@ -92,17 +91,26 @@ class Network:
         sim: Simulator,
         latency: Optional[LatencyModel] = None,
         loss_rate: float = 0.0,
+        coalesce: bool = True,
     ) -> None:
         self.sim = sim
         self.latency = latency or UniformLatency()
         self.loss_rate = validate_loss_rate(loss_rate)
+        #: Same-tick delivery coalescing: all messages arriving at one
+        #: destination at the same virtual time are delivered by a single
+        #: scheduled event (in send order) instead of one event each.
+        #: Loss, injector transforms and reachability stay per-message, so
+        #: the fault model is unchanged; only the event count drops.
+        self.coalesce = coalesce
         self._endpoints: Dict[str, Endpoint] = {}
         self._component: Dict[str, int] = {}
+        self._pending_batches: Dict[Tuple[str, float], List[Tuple[str, Any]]] = {}
         self.messages_in_flight = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
         self.messages_duplicated = 0
         self.messages_injector_dropped = 0
+        self.delivery_batches = 0  # coalesced events that carried > 1 message
         self._taps: List[Callable[[str, str, Any], None]] = []
         #: Pluggable fault injectors (see :mod:`repro.faults.injectors`):
         #: each transforms the planned delivery schedule of a message.
@@ -203,21 +211,31 @@ class Network:
         if source is None or not source.up:
             return
         source.messages_sent += 1
-        if dst not in self._endpoints:
+        dest = self._endpoints.get(dst)
+        if dest is None or (
+            src != dst and self._component.get(src) != self._component.get(dst)
+        ):
             self.messages_dropped += 1
             return
-        if not self.reachable(src, dst):
-            self.messages_dropped += 1
-            return
-        reliable_link = source.reliable and self._endpoints[dst].reliable
         if (
-            not reliable_link
-            and self.loss_rate > 0.0
+            self.loss_rate > 0.0
+            and not (source.reliable and dest.reliable)
             and self.sim.rng.random() < self.loss_rate
         ):
             self.messages_dropped += 1
             return
         delay = self.latency.sample(self.sim.rng)
+        if not self._injectors:
+            # Hot path: no fault injectors — exactly one delivery.
+            self.messages_in_flight += 1
+            if delay < 0.0:
+                delay = 0.0
+            if self.coalesce:
+                self._enqueue_delivery(src, dst, delay, payload)
+            else:
+                self.sim.schedule(delay, self._arrive, src, dst, payload,
+                                  label=f"net {src}->{dst}")
+            return
         deliveries = [delay]
         for injector in self._injectors:
             deliveries = injector.transform(src, dst, payload, deliveries,
@@ -232,18 +250,115 @@ class Network:
             self.messages_duplicated += len(deliveries) - 1
         for this_delay in deliveries:
             self.messages_in_flight += 1
-            self.sim.schedule(max(this_delay, 0.0), self._arrive, src, dst, payload,
-                              label=f"net {src}->{dst}")
+            this_delay = max(this_delay, 0.0)
+            if self.coalesce:
+                self._enqueue_delivery(src, dst, this_delay, payload)
+            else:
+                self.sim.schedule(this_delay, self._arrive, src, dst, payload,
+                                  label=f"net {src}->{dst}")
+
+    def send_multi(self, src: str, dsts: Iterable[str], payload: Any) -> None:
+        """Unicast ``payload`` from ``src`` to each of ``dsts``, in order.
+
+        Semantically identical to calling :meth:`send` once per
+        destination — including one latency draw per reachable
+        destination, so the rng stream is untouched — but the
+        source-side checks and hot-path dispatch run once per call.
+        """
+        source = self._endpoints.get(src)
+        if source is None or not source.up:
+            return
+        if self._injectors or self.loss_rate > 0.0 or not self.coalesce:
+            for dst in dsts:
+                self.send(src, dst, payload)
+            return
+        endpoints = self._endpoints
+        component = self._component
+        src_component = component.get(src)
+        sample = self.latency.sample
+        rng = self.sim.rng
+        now = self.sim.now
+        pending = self._pending_batches
+        for dst in dsts:
+            source.messages_sent += 1
+            dest = endpoints.get(dst)
+            if dest is None or (
+                src != dst and component.get(dst) != src_component
+            ):
+                self.messages_dropped += 1
+                continue
+            delay = sample(rng)
+            self.messages_in_flight += 1
+            if delay < 0.0:
+                delay = 0.0
+            key = (dst, now + delay)
+            batch = pending.get(key)
+            if batch is None:
+                pending[key] = [(src, payload)]
+                self.sim.schedule(delay, self._arrive_batch, key,
+                                  label=f"net batch ->{dst}")
+            else:
+                batch.append((src, payload))
+
+    def _enqueue_delivery(self, src: str, dst: str, delay: float, payload: Any) -> None:
+        """Append to the (dst, arrival-time) batch, creating its single
+        delivery event on first use.  Per-destination send order is
+        preserved: batches deliver their messages in append order, and a
+        batch fires at the heap position of its first message."""
+        arrival = self.sim.now + delay
+        key = (dst, arrival)
+        batch = self._pending_batches.get(key)
+        if batch is None:
+            self._pending_batches[key] = [(src, payload)]
+            self.sim.schedule(delay, self._arrive_batch, key,
+                              label=f"net batch ->{dst}")
+        else:
+            batch.append((src, payload))
+
+    def _arrive_batch(self, key: Tuple[str, float]) -> None:
+        dst = key[0]
+        batch = self._pending_batches.pop(key)
+        count = len(batch)
+        if count > 1:
+            self.delivery_batches += 1
+        self.messages_in_flight -= count
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None:
+            self.messages_dropped += count
+            return
+        # Destination-side state is hoisted out of the loop; partitions
+        # and crashes only change between simulator events, never within
+        # this one.  Per-message source reachability still applies.
+        component = self._component
+        dst_component = component.get(dst)
+        taps = self._taps
+        for src, payload in batch:
+            if not endpoint.up or (
+                src != dst and component.get(src) != dst_component
+            ):
+                self.messages_dropped += 1
+                continue
+            self.messages_delivered += 1
+            if taps:
+                for tap in taps:
+                    tap(src, dst, payload)
+            endpoint._deliver(src, payload)
 
     def _arrive(self, src: str, dst: str, payload: Any) -> None:
+        self._deliver_one(src, dst, payload)
+
+    def _deliver_one(self, src: str, dst: str, payload: Any) -> None:
         self.messages_in_flight -= 1
         endpoint = self._endpoints.get(dst)
-        if endpoint is None or not endpoint.up or not self.reachable(src, dst):
+        if endpoint is None or not endpoint.up or (
+            src != dst and self._component.get(src) != self._component.get(dst)
+        ):
             self.messages_dropped += 1
             return
         self.messages_delivered += 1
-        for tap in self._taps:
-            tap(src, dst, payload)
+        if self._taps:
+            for tap in self._taps:
+                tap(src, dst, payload)
         endpoint._deliver(src, payload)
 
     def add_tap(self, tap: Callable[[str, str, Any], None]) -> None:

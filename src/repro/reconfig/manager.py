@@ -644,8 +644,12 @@ class VsReconfigManager(BaseReconfigManager):
         utd = sorted(s for s in view.members if node.site_utd.get(s, False))
         joiners = sorted(s for s in view.members if not node.site_utd.get(s, False))
         for joiner in list(self.sessions_out):
-            if joiner not in view.members or elect_peer(utd, joiner, joiners) != node.site_id:
-                self.cancel_session(joiner)  # rule: joiner left, or re-elected away
+            if (joiner not in view.members or joiner not in joiners
+                    or elect_peer(utd, joiner, joiners) != node.site_id):
+                # Rule: joiner left, already became up to date (its
+                # announcement can land before this view's peer review),
+                # or was re-elected away.
+                self.cancel_session(joiner)
             elif joiner in node.member.stale_members:
                 # The joiner missed part of the lineage during this
                 # transfer (it restarted its join): re-anchor the session

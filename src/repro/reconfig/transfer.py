@@ -20,6 +20,8 @@ completes (the synchronization-point rule of section 4.2/4.7).
 
 from __future__ import annotations
 
+import pickle
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
@@ -27,6 +29,39 @@ from repro.db.locks import LockMode
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.replication.node import ReplicatedDatabaseNode
+
+
+def encode_batch_items(items: Tuple[Tuple[str, Any, int], ...]) -> bytes:
+    """Compress a transfer batch for the wire (``transfer_compression``).
+
+    Adjacent objects of a chunk usually share long name prefixes
+    (``obj-000123``, ``obj-000124``, ...), so names are front-coded —
+    each entry stores only (shared-prefix length, suffix) relative to
+    the previous name — before the whole chunk is pickled and deflated.
+    The resulting length is what the byte-accounting metrics count.
+    """
+    coded: List[Tuple[int, str, Any, int]] = []
+    prev = ""
+    for obj, value, version in items:
+        shared = 0
+        limit = min(len(prev), len(obj))
+        while shared < limit and prev[shared] == obj[shared]:
+            shared += 1
+        coded.append((shared, obj[shared:], value, version))
+        prev = obj
+    return zlib.compress(pickle.dumps(coded, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def decode_batch_items(blob: bytes) -> Tuple[Tuple[str, Any, int], ...]:
+    """Inverse of :func:`encode_batch_items`."""
+    coded = pickle.loads(zlib.decompress(blob))
+    items: List[Tuple[str, Any, int]] = []
+    prev = ""
+    for shared, suffix, value, version in coded:
+        obj = prev[:shared] + suffix
+        items.append((obj, value, version))
+        prev = obj
+    return tuple(items)
 
 
 # ----------------------------------------------------------------------
@@ -97,6 +132,18 @@ class TransferBatch:
     #: retransmitted or duplicated batch (re-ack without re-counting) and
     #: the peer discard stale acks.
     seq: int = 0
+    #: With ``transfer_compression`` the chunk travels as a front-coded,
+    #: deflated blob instead of ``items`` (which is then empty), and
+    #: ``payload_bytes`` counts the compressed size.
+    blob: Optional[bytes] = None
+    compressed: bool = False
+
+    def decoded_items(self) -> Tuple[Tuple[str, Any, int], ...]:
+        """The (object, value, version) triples, decompressing if needed."""
+        if self.compressed:
+            assert self.blob is not None
+            return decode_batch_items(self.blob)
+        return self.items
 
 
 @dataclass(frozen=True)
@@ -410,7 +457,16 @@ class PeerTransferSession:
     def _transmit_batch(self, items: Tuple[Tuple[str, Any, int], ...]) -> None:
         if not self.active:
             return
-        payload_bytes = len(items) * self.node.config.object_size_bytes
+        blob: Optional[bytes] = None
+        compressed = False
+        if self.node.config.transfer_compression:
+            blob = encode_batch_items(items)
+            compressed = True
+            payload_bytes = len(blob)
+            wire_items: Tuple[Tuple[str, Any, int], ...] = ()
+        else:
+            payload_bytes = len(items) * self.node.config.object_size_bytes
+            wire_items = items
         boundary = None
         if self._round_boundary is not None and not self._outbox:
             boundary = self._round_boundary
@@ -426,10 +482,12 @@ class PeerTransferSession:
             TransferBatch(
                 session_id=self.session_id,
                 round_no=self.round_no,
-                items=items,
+                items=wire_items,
                 payload_bytes=payload_bytes,
                 round_boundary=boundary,
                 seq=self._batch_seq,
+                blob=blob,
+                compressed=compressed,
             ),
         )
 
@@ -560,26 +618,27 @@ class JoinerTransferSession:
     def on_batch(self, batch: TransferBatch) -> None:
         if not self.active:
             return
+        items = batch.decoded_items()
         duplicate = bool(batch.seq) and batch.seq <= self._last_batch_seq
         if not duplicate:
             # Installing is idempotent anyway (the store keeps the newest
             # version), but the seq guard keeps counters honest under
             # duplication/retransmission.
             self._last_batch_seq = max(self._last_batch_seq, batch.seq)
-            self.node.db.store.apply(batch.items)
+            self.node.db.store.apply(items)
             # Transferred versions bypass the commit path, so register
             # them in the RecTable here — otherwise this site, acting as
             # peer for a *later* joiner, would silently omit objects it
             # only ever received via transfer (its RecTable rebuild at
             # recovery predates them).
-            for obj, _value, version in batch.items:
+            for obj, _value, version in items:
                 if version >= 0:
                     self.node.db.rectable.register(obj, version)
-            self.objects_received += len(batch.items)
+            self.objects_received += len(items)
             self.bytes_received += batch.payload_bytes
             manager = self.node.reconfig
             if manager is not None:
-                manager.objects_received_total += len(batch.items)
+                manager.objects_received_total += len(items)
                 manager.bytes_received_total += batch.payload_bytes
             if batch.round_boundary is not None:
                 self.resume_through = max(self.resume_through, batch.round_boundary)
@@ -587,7 +646,7 @@ class JoinerTransferSession:
         self.node.send_transfer(
             self.peer,
             TransferBatchAck(
-                session_id=self.session_id, count=len(batch.items), seq=batch.seq
+                session_id=self.session_id, count=len(items), seq=batch.seq
             ),
         )
 

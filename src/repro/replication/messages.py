@@ -27,10 +27,21 @@ class TransactionMessage:
     deferred_reads: Tuple[str, ...] = ()
 
     def reads(self) -> Dict[str, int]:
-        return dict(self.read_set)
+        # Memoized: every site of the view calls this on the *same*
+        # in-process instance several times per delivery.  Writing via
+        # __dict__ sidesteps the frozen-dataclass setattr guard; eq and
+        # hash still see only the declared fields.  Callers never mutate
+        # the returned mapping.
+        cached = self.__dict__.get("_reads")
+        if cached is None:
+            cached = self.__dict__["_reads"] = dict(self.read_set)
+        return cached
 
     def writes(self) -> Dict[str, Any]:
-        return dict(self.write_set)
+        cached = self.__dict__.get("_writes")
+        if cached is None:
+            cached = self.__dict__["_writes"] = dict(self.write_set)
+        return cached
 
 
 @dataclass(frozen=True)

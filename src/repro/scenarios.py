@@ -16,7 +16,7 @@ The two figure scenarios reproduce the paper's running examples:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.cluster import Cluster, ClusterBuilder
 from repro.replication.node import NodeConfig, SiteStatus
@@ -42,11 +42,36 @@ class ScenarioReport:
     replayed: int = 0
     notes: List[str] = field(default_factory=list)
     extra: Dict[str, float] = field(default_factory=dict)
+    #: The cluster the scenario ran on, for post-hoc verification and
+    #: instrumentation (events processed, network counters).  Excluded
+    #: from equality so reports still compare by their measurements.
+    cluster: Optional[Cluster] = field(default=None, repr=False, compare=False)
 
     def coordination_events(self) -> int:
         """Reconfiguration coordination volume: announcements under VS,
         merge requests under EVS (the quantity Figures 1 vs 2 contrast)."""
         return self.announcements + self.svs_merges + self.sv_merges
+
+
+#: Observers called with every freshly collected ScenarioReport (which
+#: carries its cluster).  The benchmark conftest registers one to
+#: re-verify completion and consistency of every scenario a benchmark
+#: runs, without each benchmark repeating the assertions.
+ReportHook = Callable[[ScenarioReport], None]
+_report_hooks: List[ReportHook] = []
+
+
+def add_report_hook(hook: ReportHook) -> ReportHook:
+    """Register an observer for every collected scenario report."""
+    _report_hooks.append(hook)
+    return hook
+
+
+def remove_report_hook(hook: ReportHook) -> None:
+    try:
+        _report_hooks.remove(hook)
+    except ValueError:
+        pass
 
 
 def _collect_report(cluster: Cluster, load: LoadGenerator, mode: str, strategy,
@@ -63,7 +88,7 @@ def _collect_report(cluster: Cluster, load: LoadGenerator, mode: str, strategy,
         replayed += manager.replayed_transactions
         svs += getattr(manager, "svs_merges_issued", 0)
         sv += getattr(manager, "sv_merges_issued", 0)
-    return ScenarioReport(
+    report = ScenarioReport(
         mode=mode,
         strategy=strategy,
         completed=completed,
@@ -76,7 +101,11 @@ def _collect_report(cluster: Cluster, load: LoadGenerator, mode: str, strategy,
         svs_merges=svs,
         sv_merges=sv,
         replayed=replayed,
+        cluster=cluster,
     )
+    for hook in list(_report_hooks):
+        hook(report)
+    return report
 
 
 def run_figure1_scenario(
@@ -86,6 +115,7 @@ def run_figure1_scenario(
     db_size: int = 300,
     arrival_rate: float = 80.0,
     check: bool = True,
+    batching: bool = True,
 ) -> ScenarioReport:
     """The cascading reconfiguration of Figure 1 (and, in EVS mode, the
     encapsulated equivalent of Figure 2) on five sites:
@@ -100,7 +130,7 @@ def run_figure1_scenario(
     node_config = NodeConfig(transfer_obj_time=0.002, transfer_batch_size=25)
     cluster = ClusterBuilder(
         n_sites=5, db_size=db_size, seed=seed, strategy=strategy, mode=mode,
-        node_config=node_config,
+        node_config=node_config, batching=batching,
     ).build()
     cluster.start()
     if not cluster.await_all_active(timeout=15):
@@ -167,6 +197,7 @@ def run_recovery_experiment(
     node_config: Optional[NodeConfig] = None,
     rejoin_timeout: float = 60.0,
     check: bool = True,
+    batching: bool = True,
 ) -> ScenarioReport:
     """One site crashes, stays down for ``downtime``, recovers, rejoins.
 
@@ -177,7 +208,7 @@ def run_recovery_experiment(
     node_config = node_config or NodeConfig(transfer_obj_time=0.0005)
     cluster = ClusterBuilder(
         n_sites=n_sites, db_size=db_size, seed=seed, strategy=strategy, mode=mode,
-        node_config=node_config,
+        node_config=node_config, batching=batching,
     ).build()
     cluster.start()
     if not cluster.await_all_active(timeout=15):

@@ -51,7 +51,11 @@ class Event:
         self.cancelled = True
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # Hot path: called O(log n) times per heap operation.  Comparing
+        # fields directly avoids building two tuples per comparison.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -137,8 +141,9 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self.now = event.time
-                for hook in self._trace_hooks:
-                    hook(event)
+                if self._trace_hooks:
+                    for hook in self._trace_hooks:
+                        hook(event)
                 event.fn(*event.args)
                 processed += 1
                 self.events_processed += 1

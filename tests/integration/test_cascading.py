@@ -46,7 +46,9 @@ class TestPeerFailure:
     def test_new_peer_takes_over(self, mode, strategy):
         cluster, load = slow_transfer_cluster(mode=mode, strategy=strategy)
         peer = start_recovery(cluster, "S5")
-        cluster.run_for(0.1)
+        # Strike early: the rectable transfer window is ~0.1s of virtual
+        # time, and the crash must land while the session is still open.
+        cluster.run_for(0.05)
         cluster.crash(peer)
         ok = cluster.await_condition(
             lambda: cluster.nodes["S5"].status is SiteStatus.ACTIVE, timeout=40

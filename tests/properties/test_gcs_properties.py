@@ -83,13 +83,24 @@ class TestGroupGuarantees:
     @given(seed=st.integers(0, 100_000), sends=sends_strategy)
     @settings(max_examples=10, deadline=None, suppress_health_check=list(HealthCheck))
     def test_total_order_under_message_loss(self, seed, sends):
-        """Retransmission machinery: loss may delay but not reorder."""
+        """Retransmission machinery: loss may delay but not reorder.
+
+        Loss can also stall the initial merge past the first sends (or
+        tear the view), so a multicast may land while components are
+        still disjoint.  Deliveries in non-primary components are
+        reconciled by the replica layer (section 2.3) and exempt here,
+        as in the crash test above; within primary views the gseq ->
+        payload binding must be unique across members and every member
+        must deliver in gseq order without duplicates.
+        """
         members, apps = run_group_schedule(3, seed, sends, None, None, lossy=True)
-        sequences = [tuple(app.payloads()) for app in apps.values()]
-        # Under loss some nodes may briefly trail; check prefix property.
-        longest = max(sequences, key=len)
-        for sequence in sequences:
-            assert longest[: len(sequence)] == sequence
+        by_gseq = {}
+        for app in apps.values():
+            gseqs = [gseq for gseq, _, _ in app.primary_messages]
+            assert gseqs == sorted(gseqs), "delivery reordered"
+            assert len(set(gseqs)) == len(gseqs), "duplicate delivery"
+            for gseq, _, payload in app.primary_messages:
+                assert by_gseq.setdefault(gseq, payload) == payload
 
     @given(seed=st.integers(0, 100_000))
     @settings(max_examples=10, deadline=None, suppress_health_check=list(HealthCheck))
