@@ -13,6 +13,7 @@ from typing import Dict, List, Sequence
 import pytest
 
 from repro import scenarios
+from repro.obs import collect_cluster_metrics
 
 
 @pytest.fixture(autouse=True)
@@ -39,6 +40,12 @@ def verify_scenario_reports():
         )
         if report.cluster is not None:
             report.cluster.check()
+            # The metric snapshot is a pure pull over existing counters;
+            # sanity-check it here so no benchmarked run can produce an
+            # inconsistent or empty snapshot for BENCH_results.json.
+            snapshot = collect_cluster_metrics(report.cluster)
+            assert snapshot["sim.virtual_time"] > 0
+            assert snapshot["txn.commits"] <= snapshot["txn.site_commits"]
 
 
 def print_table(title: str, header: Sequence[str], rows: List[Sequence]) -> None:

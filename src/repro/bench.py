@@ -25,14 +25,16 @@ import json
 import platform
 import sys
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.cluster import ClusterBuilder
+from repro.obs import collect_cluster_metrics
 from repro.workload.generator import LoadGenerator, WorkloadConfig
 
-#: Bump when the result-file layout changes.
-SCHEMA_VERSION = 1
+#: Bump when the result-file layout changes.  2: per-scenario ``metrics``
+#: snapshots (repro.obs.collect_cluster_metrics).
+SCHEMA_VERSION = 2
 
 #: Default regression tolerance for --baseline comparisons: fail when a
 #: scenario's commits_per_wall_second drops more than this fraction
@@ -53,11 +55,15 @@ class BenchResult:
     events_processed: int
     messages_delivered: int
     transfer_bytes: int
+    #: Full cluster metric snapshot (repro.obs.collect_cluster_metrics),
+    #: taken after the run — pure reads of existing counters, so it adds
+    #: no hot-path cost to the measurement itself.
+    metrics: Dict[str, float] = field(default_factory=dict)
 
 
 def _result(name: str, completed: bool, wall: float, sim_seconds: float,
             commits: int, events: int, messages: int,
-            transfer_bytes: int) -> BenchResult:
+            transfer_bytes: int, cluster=None) -> BenchResult:
     return BenchResult(
         name=name,
         completed=completed,
@@ -68,6 +74,7 @@ def _result(name: str, completed: bool, wall: float, sim_seconds: float,
         events_processed=events,
         messages_delivered=messages,
         transfer_bytes=transfer_bytes,
+        metrics=collect_cluster_metrics(cluster) if cluster is not None else {},
     )
 
 
@@ -95,6 +102,7 @@ def bench_throughput(smoke: bool = False, batching: bool = True) -> BenchResult:
         cluster.total_commits(), cluster.sim.events_processed,
         cluster.network.messages_delivered,
         cluster.metrics_summary()["bytes_transferred"],
+        cluster=cluster,
     )
 
 
@@ -116,6 +124,7 @@ def bench_figure(mode: str, smoke: bool = False,
         cluster.sim.events_processed if cluster is not None else 0,
         cluster.network.messages_delivered if cluster is not None else 0,
         cluster.metrics_summary()["bytes_transferred"] if cluster is not None else 0,
+        cluster=cluster,
     )
 
 
@@ -126,8 +135,9 @@ def bench_chaos(smoke: bool = False, batching: bool = True) -> BenchResult:
     config = ChaosConfig(seed=3, intensity=0.5, n_sites=4, db_size=40,
                          duration=1.5 if smoke else 3.0,
                          arrival_rate=60.0, batching=batching)
+    engine = ChaosEngine(config)
     start = time.perf_counter()
-    report = ChaosEngine(config).run()
+    report = engine.run()
     wall = time.perf_counter() - start
     metrics = report.metrics
     return _result(
@@ -137,6 +147,7 @@ def bench_chaos(smoke: bool = False, batching: bool = True) -> BenchResult:
         int(metrics.get("events_processed", 0)),
         int(metrics.get("network_messages", 0)),
         int(metrics.get("bytes_transferred", 0)),
+        cluster=engine.cluster,
     )
 
 

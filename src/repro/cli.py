@@ -9,6 +9,7 @@ Usage::
     python -m repro trace --mode evs             # recovery with a timeline
     python -m repro chaos --seed 3 --intensity 0.5   # randomized fault storm
     python -m repro bench --output BENCH_results.json    # pinned benchmark matrix
+    python -m repro report --out-dir obs_out         # observed run + artifacts
 
 Every command runs a deterministic simulation and prints its results;
 pass ``--seed`` to vary the run.
@@ -125,13 +126,70 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import (
+        load_jsonl, render_summary,
+        write_chrome_trace, write_jsonl, write_prometheus,
+    )
+
+    if args.input is not None:
+        run = load_jsonl(args.input)
+        print(render_summary(run))
+        return 0
+
+    # A pinned crash + online-recovery run: the one scenario that
+    # exercises every span category (txn, apply, recovery, transfer).
+    cluster = ClusterBuilder(n_sites=args.sites, db_size=args.db_size,
+                             seed=args.seed, strategy=args.strategy,
+                             mode=args.mode).build()
+    obs = cluster.attach_observability()
+    cluster.start()
+    if not cluster.await_all_active(timeout=15):
+        print("bootstrap failed", file=sys.stderr)
+        return 1
+    load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=args.rate))
+    load.start()
+    cluster.run_for(0.5)
+    victim = f"S{args.sites}"
+    cluster.crash(victim)
+    cluster.run_for(args.downtime)
+    cluster.recover(victim)
+    ok = cluster.await_condition(
+        lambda: cluster.nodes[victim].status is SiteStatus.ACTIVE, timeout=60
+    )
+    load.stop()
+    cluster.settle(0.5)
+    cluster.check()
+
+    name = (f"recover {victim} (seed={args.seed} strategy={args.strategy} "
+            f"mode={args.mode})")
+    run = obs.run_data(name)
+    print(render_summary(run))
+    out_dir = args.out_dir
+    os.makedirs(out_dir, exist_ok=True)
+    jsonl_path = os.path.join(out_dir, "run.jsonl")
+    trace_path = os.path.join(out_dir, "trace.json")
+    prom_path = os.path.join(out_dir, "metrics.prom")
+    write_jsonl(run, jsonl_path)
+    write_chrome_trace(run, trace_path)
+    write_prometheus(run.metrics, prom_path)
+    print(f"\nartifacts written to {out_dir}/: run.jsonl "
+          f"({len(run.events)} events, {len(run.spans)} spans), "
+          f"trace.json (load in chrome://tracing or ui.perfetto.dev), "
+          f"metrics.prom")
+    return 0 if ok else 1
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import ChaosConfig, ChaosEngine
 
+    observe = args.trace is not None or args.metrics is not None
     config = ChaosConfig(
         seed=args.seed, intensity=args.intensity, n_sites=args.sites,
         db_size=args.db_size, duration=args.duration, mode=args.mode,
-        strategy=args.strategy, arrival_rate=args.rate,
+        strategy=args.strategy, arrival_rate=args.rate, observe=observe,
     )
     report = ChaosEngine(config).run()
     if args.timeline and report.tracer is not None:
@@ -141,6 +199,18 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"{time:8.3f}  chaos  {action:14s} {detail}")
     print()
     print(report.summary())
+    if report.obs is not None:
+        # Explicitly requested dumps — and, on an invariant failure, the
+        # full evidence regardless of which flag was passed.
+        name = f"chaos seed={args.seed} intensity={args.intensity}"
+        trace_path = args.trace or "chaos_trace.json"
+        metrics_path = args.metrics or "chaos_metrics.prom"
+        if args.trace is not None or not report.ok:
+            report.obs.export_chrome_trace(trace_path, name)
+            print(f"trace written to {trace_path}")
+        if args.metrics is not None or not report.ok:
+            report.obs.export_prometheus(metrics_path)
+            print(f"metrics written to {metrics_path}")
     if report.ok:
         print("all correctness checks passed")
     else:
@@ -202,6 +272,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--downtime", type=float, default=0.8)
     trace.set_defaults(fn=_cmd_trace)
 
+    report = sub.add_parser(
+        "report",
+        help="observed recovery run: summary + Chrome trace + metrics artifacts",
+    )
+    common(report)
+    report.add_argument("--downtime", type=float, default=0.8)
+    report.add_argument("--out-dir", default="obs_out",
+                        help="directory for run.jsonl / trace.json / "
+                             "metrics.prom (default %(default)s)")
+    report.add_argument("--input", default=None, metavar="RUN_JSONL",
+                        help="render the summary of a previously exported "
+                             "run.jsonl instead of running a simulation")
+    report.set_defaults(fn=_cmd_report)
+
     chaos = sub.add_parser(
         "chaos", help="seeded randomized fault storm + full invariant check"
     )
@@ -212,6 +296,14 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--duration", type=float, default=3.0)
     chaos.add_argument("--timeline", action="store_true",
                        help="also print the full trace timeline")
+    chaos.add_argument("--trace", nargs="?", const="chaos_trace.json",
+                       default=None, metavar="PATH",
+                       help="attach observability and write a Chrome trace "
+                            "(default PATH: %(const)s)")
+    chaos.add_argument("--metrics", nargs="?", const="chaos_metrics.prom",
+                       default=None, metavar="PATH",
+                       help="attach observability and write a Prometheus-style "
+                            "metrics dump (default PATH: %(const)s)")
     chaos.set_defaults(fn=_cmd_chaos)
 
     bench = sub.add_parser(

@@ -154,6 +154,19 @@ class Cluster:
         self._gcs_config: Optional[GCSConfig] = None
         self._node_config = None
         self._mode = "vs"
+        #: Observability handle (repro.obs.Observability), set by
+        #: :meth:`attach_observability`.  None = no instrumentation cost.
+        self.obs = None
+
+    def attach_observability(self):
+        """Attach the unified observability layer (metrics + spans).
+
+        Idempotent; returns the :class:`repro.obs.Observability` handle.
+        Call before :meth:`start` to capture the whole run.
+        """
+        from repro.obs import attach_observability
+
+        return attach_observability(self)
 
     # ------------------------------------------------------------------
     # Node construction (used by the builder and by add_site)

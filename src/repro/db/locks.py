@@ -100,6 +100,13 @@ class LockManager:
         self._waiting: List[LockRequest] = []
         self.wait_times: List[float] = []
         self.grants = 0
+        #: Requests that could not be granted immediately (conflicts).
+        self.conflicts = 0
+        #: High-watermark of the wait-queue depth.
+        self.max_waiting = 0
+        #: Observability instruments (repro.obs.LockInstruments); None
+        #: keeps the request/grant paths at one attribute check each.
+        self.obs = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -178,7 +185,13 @@ class LockManager:
         if self._grantable(request):
             self._grant(request)
         else:
+            self.conflicts += 1
             self._waiting.append(request)
+            depth = len(self._waiting)
+            if depth > self.max_waiting:
+                self.max_waiting = depth
+            if self.obs is not None:
+                self.obs.queue_depth.observe(depth)
         return request
 
     def release(self, txn_id: str, resource: Optional[str] = None) -> None:
@@ -278,6 +291,8 @@ class LockManager:
         request.granted_at = self._clock()
         self.wait_times.append(request.granted_at - request.enqueued_at)
         self.grants += 1
+        if self.obs is not None:
+            self.obs.wait_time.observe(request.granted_at - request.enqueued_at)
         if request.on_grant is not None:
             request.on_grant(request)
 

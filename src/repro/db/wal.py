@@ -113,6 +113,9 @@ class PersistentStorage:
         self.durable_length = 0
         self.checkpoint_image: Dict[str, Tuple[Any, int]] = {}
         self.flushes = 0
+        #: Total records ever appended (monotone; unlike ``len(log)`` it
+        #: is not reduced by checkpoint truncation or torn tails).
+        self.records_appended = 0
         #: Diagnostics from the last torn-tail event (fault injection).
         self.torn_records = 0
         self.corrupt_records = 0
@@ -121,6 +124,7 @@ class PersistentStorage:
     def append(self, record: LogRecord) -> None:
         self.log.append(record)
         self._crcs.append(None)
+        self.records_appended += 1
 
     def flush(self) -> None:
         """Force the whole log to stable storage (fsync)."""

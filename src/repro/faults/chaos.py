@@ -67,6 +67,11 @@ class ChaosConfig:
     #: the pre-batching event schedule; histories and final states are
     #: identical either way (see tests/properties/test_batching_equivalence).
     batching: bool = True
+    #: Attach the full observability layer (metrics registry + causal
+    #: spans, repro.obs) instead of the bare tracer.  The report then
+    #: carries an ``obs`` handle whose trace/metrics can be exported —
+    #: the CLI uses this to dump evidence when an invariant fails.
+    observe: bool = False
 
     def validate(self) -> None:
         if not 0.0 <= self.intensity <= 1.0:
@@ -97,6 +102,9 @@ class ChaosReport:
     wal_tears: int = 0
     wal_corruptions: int = 0
     tracer: Optional[Tracer] = None
+    #: Observability handle (repro.obs.Observability) when the run was
+    #: built with ``ChaosConfig(observe=True)``.
+    obs: Optional[Any] = None
 
     def summary(self) -> str:
         verdict = "PASS" if self.ok else f"FAIL ({self.error})"
@@ -163,7 +171,10 @@ class ChaosEngine:
             batching=config.batching,
         ).build()
         self.cluster = cluster
-        attach_tracer(cluster)
+        if config.observe:
+            self.report.obs = cluster.attach_observability()
+        else:
+            attach_tracer(cluster)
         self.report.tracer = cluster.tracer
         intensity = config.intensity
         if config.enable_duplication:

@@ -94,6 +94,10 @@ class GroupMember(Process):
         self.lineage: Optional[PrimaryLineage] = None
         self._view_primary = False
 
+        #: Observability instruments handed to every per-view total-order
+        #: instance (set by repro.obs.attach; None = not observed).
+        self.to_obs = None
+
         self.view: View = singleton_view(node_id, 0)
         self.to: ViewTotalOrder = self._new_total_order(self.view, 0)
         self._blocked = False
@@ -288,6 +292,7 @@ class GroupMember(Process):
             defer=lambda fn: self.after(0.0, fn),
             batch=self.config.sequencer_batching,
             send_many=self.endpoint.send_many,
+            obs=self.to_obs,
         )
 
     def freeze_for_flush(self) -> None:

@@ -64,6 +64,7 @@ class ViewTotalOrder:
         defer: Optional[DeferFn] = None,
         batch: bool = False,
         send_many: Optional[SendManyFn] = None,
+        obs: Optional[object] = None,
     ) -> None:
         self.view = view
         self.me = me
@@ -73,6 +74,13 @@ class ViewTotalOrder:
         self.uniform = uniform
         self.sequencer = min(view.members)
         self.closed = False
+        #: Observability instruments (repro.obs.SequencerInstruments),
+        #: shared across the per-view instances of one member; ``None``
+        #: keeps every hook to a single attribute check.
+        self.obs = obs
+        #: Ordered messages re-sent by the sequencer (NAK answers plus
+        #: maintenance pushes to lagging members).
+        self.retransmissions = 0
         #: Every member but this one, in view order — the broadcast fan-out.
         self._others: Tuple[str, ...] = tuple(m for m in view.members if m != me)
         if send_many is None:
@@ -151,6 +159,8 @@ class ViewTotalOrder:
             items = tuple(self._stage)
             self._stage.clear()
             self.batches_sent += 1
+            if self.obs is not None:
+                self.obs.batch_size.observe(len(items))
             if len(items) == 1 and ack_high < 0:
                 batch: object = items[0]
             else:
@@ -169,6 +179,9 @@ class ViewTotalOrder:
         for seq in msg.missing:
             ordered = self._history.get(seq)
             if ordered is not None:
+                self.retransmissions += 1
+                if self.obs is not None:
+                    self.obs.retransmissions.inc()
                 self._send(msg.sender, ordered)
 
     # ------------------------------------------------------------------
@@ -301,6 +314,10 @@ class ViewTotalOrder:
             self._send(self.sequencer, Nak(sender=self.me, view_id=self.view.view_id, missing=missing))
         if self.recv_highwater > self.delivered_seq:
             self._broadcast_ack()
+        if self.obs is not None:
+            # Delivery lag: messages held but not yet deliverable (the
+            # uniform-delivery ack horizon or a sequence gap is behind).
+            self.obs.delivery_lag.observe(self.recv_highwater - self.delivered_seq)
         if self.me == self.sequencer:
             top = self._next_seq - 1
             for member, high in self.ack_high.items():
@@ -310,6 +327,9 @@ class ViewTotalOrder:
                 for seq in range(high + 1, stop + 1):
                     ordered = self._history.get(seq)
                     if ordered is not None:
+                        self.retransmissions += 1
+                        if self.obs is not None:
+                            self.obs.retransmissions.inc()
                         self._send(member, ordered)
 
     def flush_cut(self) -> Tuple[Ordered, ...]:

@@ -1,0 +1,67 @@
+"""repro.obs — the unified observability layer.
+
+One attach call instruments a whole cluster::
+
+    from repro.obs import attach_observability
+
+    cluster = ClusterBuilder(...).build()
+    obs = attach_observability(cluster)   # before cluster.start()
+    ...
+    obs.export_chrome_trace("trace.json")  # chrome://tracing / Perfetto
+    obs.export_jsonl("run.jsonl")          # replayable event log
+    obs.export_prometheus("metrics.prom")  # text exposition snapshot
+
+See docs/OBSERVABILITY.md for the metric catalog, the span model and
+the exporter formats.  :func:`collect_cluster_metrics` is the zero-cost
+pull-only path used by ``python -m repro bench``.
+"""
+
+from repro.obs.attach import (
+    Observability,
+    attach_observability,
+    collect_cluster_metrics,
+)
+from repro.obs.export import (
+    RunData,
+    chrome_trace,
+    load_jsonl,
+    prometheus_text,
+    write_chrome_trace,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import (
+    COUNT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SIZE_BUCKETS,
+    TIME_BUCKETS,
+)
+from repro.obs.report import render_summary, span_durations
+from repro.obs.spans import Span, SpanTracker
+
+__all__ = [
+    "COUNT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "RunData",
+    "SIZE_BUCKETS",
+    "Span",
+    "SpanTracker",
+    "TIME_BUCKETS",
+    "attach_observability",
+    "chrome_trace",
+    "collect_cluster_metrics",
+    "load_jsonl",
+    "prometheus_text",
+    "render_summary",
+    "span_durations",
+    "write_chrome_trace",
+    "write_jsonl",
+    "write_prometheus",
+]

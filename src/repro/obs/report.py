@@ -1,0 +1,108 @@
+"""Render a human-readable run summary from a :class:`RunData`.
+
+Used by ``python -m repro report``: top metrics, span durations grouped
+by phase, and a per-site timeline digest.  Pure formatting — everything
+here works identically on a live run and on a reloaded JSON-lines file.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.export import RunData
+from repro.obs.spans import Span
+from repro.workload.metrics import summarize_latencies
+
+#: How many counters the "top metrics" table shows.
+TOP_METRICS = 16
+
+
+def _phase_label(span: Span) -> str:
+    if span.category == "txn":
+        return "txn (submit -> done)"
+    if span.category == "txn_apply":
+        return "apply (deliver -> commit/abort)"
+    if span.category == "reconfig":
+        return "recovery (view change -> active)"
+    # Phase spans: "state_transfer", "replay", "serve <joiner>".
+    return span.name.split(" ", 1)[0]
+
+
+def span_durations(run: RunData) -> Dict[str, List[float]]:
+    """Closed-span durations grouped by phase label."""
+    groups: Dict[str, List[float]] = {}
+    for span in run.spans:
+        if span.end is None:
+            continue
+        groups.setdefault(_phase_label(span), []).append(span.end - span.start)
+    return groups
+
+
+def _site_rows(run: RunData) -> List[Tuple[str, int, int, int, int, float]]:
+    rows = []
+    for site in run.sites():
+        if site == "--":  # chaos engine's global events, not a site
+            continue
+        events = sum(1 for e in run.events if e.site == site)
+        applies = [s for s in run.spans if s.category == "txn_apply" and s.site == site]
+        commits = sum(1 for s in applies if s.attrs.get("outcome") == "commit")
+        recoveries = [s for s in run.spans
+                      if s.category == "reconfig" and s.site == site
+                      and s.end is not None]
+        recovery_time = sum(s.end - s.start for s in recoveries)
+        rows.append((site, events, len(applies), commits, len(recoveries),
+                     recovery_time))
+    return rows
+
+
+def render_summary(run: RunData) -> str:
+    lines: List[str] = []
+    meta = run.meta
+    lines.append(f"run: {meta.get('name', 'repro run')}  "
+                 f"virtual_time={meta.get('virtual_time', 0.0):.3f}s  "
+                 f"sites={','.join(meta.get('sites', run.sites()))}")
+    lines.append("")
+
+    counters: Dict[str, Any] = dict(run.metrics.get("counters", {}))
+    if counters:
+        lines.append("top metrics")
+        lines.append("-" * 48)
+        ranked = sorted(counters.items(), key=lambda kv: (-abs(kv[1]), kv[0]))
+        for name, value in ranked[:TOP_METRICS]:
+            rendered = f"{value:.4f}".rstrip("0").rstrip(".") \
+                if isinstance(value, float) else str(value)
+            lines.append(f"  {name:34s} {rendered:>10s}")
+        lines.append("")
+
+    groups = span_durations(run)
+    if groups:
+        lines.append("span durations by phase (virtual seconds)")
+        header = (f"  {'phase':34s} {'count':>6s} {'mean':>9s} "
+                  f"{'p95':>9s} {'max':>9s}")
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for label in sorted(groups):
+            summary = summarize_latencies(groups[label])
+            lines.append(
+                f"  {label:34s} {summary.count:6d} {summary.mean:9.4f} "
+                f"{summary.p95:9.4f} {summary.maximum:9.4f}")
+        lines.append("")
+
+    rows = _site_rows(run)
+    if rows:
+        lines.append("per-site timeline")
+        header = (f"  {'site':6s} {'events':>7s} {'applies':>8s} "
+                  f"{'commits':>8s} {'recoveries':>11s} {'recovery s':>11s}")
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for site, events, applies, commits, recoveries, rec_time in rows:
+            lines.append(f"  {site:6s} {events:7d} {applies:8d} "
+                         f"{commits:8d} {recoveries:11d} {rec_time:11.4f}")
+        lines.append("")
+
+    txn_spans = sum(1 for s in run.spans if s.category == "txn")
+    reconfig_spans = sum(1 for s in run.spans if s.category == "reconfig")
+    lines.append(f"{len(run.spans)} spans total "
+                 f"({txn_spans} transaction, {reconfig_spans} reconfiguration), "
+                 f"{len(run.events)} trace events")
+    return "\n".join(lines)

@@ -271,6 +271,11 @@ class EvsReconfigManager(BaseReconfigManager):
                 if sv_id not in self._sv_merges_requested:
                     self._sv_merges_requested.add(sv_id)
                     self.sv_merges_issued += 1
+                    node.trace(
+                        "eview", "sv_merge_issued",
+                        f"subview {sv_id} caught up, merging into {my_sv}",
+                        data={"subview": str(sv_id)},
+                    )
                     self.evs.subview_merge((my_sv, sv_id))
                 continue
             if elect_for(coordinators, index) != node.site_id:
@@ -293,6 +298,11 @@ class EvsReconfigManager(BaseReconfigManager):
         if not self._is_coordinating(eview):
             return
         self.svs_merges_issued += 1
+        self.node.trace(
+            "eview", "svs_merge_issued",
+            f"merging subview-set {svs_id} into {my_svs_id}",
+            data={"subview_set": str(svs_id)},
+        )
         self.evs.subview_set_merge((my_svs_id, svs_id))
 
     # ------------------------------------------------------------------
@@ -373,6 +383,10 @@ class EvsReconfigManager(BaseReconfigManager):
         eview = self.evs.eview
         assert eview is not None
         self.svs_merges_issued += 1
+        self.node.trace(
+            "eview", "svs_merge_issued",
+            "creation source: merging every subview-set",
+        )
         self.evs.subview_set_merge(tuple(sorted(eview.subview_sets(), key=str)))
 
     def on_activated(self) -> None:

@@ -105,6 +105,7 @@ class BaseReconfigManager:
         self.transfer_stalls = 0
         self.transfer_failovers = 0
         self.solicits_sent = 0
+        self.transfer_retransmissions = 0
 
     # ------------------------------------------------------------------
     # Node lifecycle hooks

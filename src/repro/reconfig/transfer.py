@@ -321,6 +321,9 @@ class PeerTransferSession:
             return
         if entry["attempts"]:
             self.retransmissions += 1
+            manager = self.node.reconfig
+            if manager is not None:
+                manager.transfer_retransmissions += 1
             self.node.trace(
                 "fault", "xfer_retransmit",
                 f"{kind} -> {self.joiner} attempt {entry['attempts'] + 1}",
@@ -477,6 +480,12 @@ class PeerTransferSession:
         if manager is not None:
             manager.objects_sent_total += len(items)
             manager.bytes_sent_total += payload_bytes
+        obs = self.node.obs
+        if obs is not None:
+            obs.chunk_objects.observe(len(items))
+            obs.chunk_bytes.observe(payload_bytes)
+            obs.raw_bytes.inc(len(items) * self.node.config.object_size_bytes)
+            obs.wire_bytes.inc(payload_bytes)
         self.send_tracked(
             "batch",
             TransferBatch(

@@ -241,6 +241,9 @@ class ReplicatedDatabaseNode:
         self.storage_faults = None
         #: Optional tracer (repro.tracing) for fault/protocol events.
         self.tracer = None
+        #: Optional observability instruments (repro.obs.NodeInstruments);
+        #: None keeps instrumented paths at one attribute check each.
+        self.obs = None
 
         # Metrics / event taps.
         self.on_txn_event: Optional[Callable[[str, str, int, Any], None]] = None
@@ -932,10 +935,10 @@ class ReplicatedDatabaseNode:
         self.xfer.send(f"{site}:xfer", payload)
 
     # ------------------------------------------------------------------
-    def trace(self, category: str, kind: str, detail: str = "") -> None:
+    def trace(self, category: str, kind: str, detail: str = "", data=None) -> None:
         """Record a protocol/fault event with the attached tracer, if any."""
         if self.tracer is not None:
-            self.tracer.emit(self.site_id, category, kind, detail)
+            self.tracer.emit(self.site_id, category, kind, detail, data=data)
 
     def _emit(self, kind: str, gid: int, message: TransactionMessage) -> None:
         if self.on_txn_event is not None:

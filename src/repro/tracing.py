@@ -20,9 +20,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 class TraceEvent:
     time: float
     site: str
-    category: str  # "view" | "eview" | "status" | "transfer" | "txn" | "creation" | "fault"
+    category: str  # "view" | "eview" | "status" | "transfer" | "txn" | "replay" | "creation" | "fault"
     kind: str
     detail: str = ""
+    #: Optional structured payload (ids, sizes) for machine consumers —
+    #: the span tracker and the exporters; ``detail`` stays the
+    #: human-readable rendering.
+    data: Optional[Dict[str, Any]] = None
 
     def __str__(self) -> str:
         return f"{self.time:8.3f}  {self.site:4s}  {self.category:8s} {self.kind}" + (
@@ -37,10 +41,20 @@ class Tracer:
         self._clock = clock
         self.events: List[TraceEvent] = []
         self.enabled = True
+        self._listeners: List[Callable[[TraceEvent], None]] = []
 
-    def emit(self, site: str, category: str, kind: str, detail: str = "") -> None:
+    def add_listener(self, listener: Callable[[TraceEvent], None]) -> None:
+        """Subscribe to every event as it is emitted (the span tracker
+        layers on the tracer this way)."""
+        self._listeners.append(listener)
+
+    def emit(self, site: str, category: str, kind: str, detail: str = "",
+             data: Optional[Dict[str, Any]] = None) -> None:
         if self.enabled:
-            self.events.append(TraceEvent(self._clock(), site, category, kind, detail))
+            event = TraceEvent(self._clock(), site, category, kind, detail, data)
+            self.events.append(event)
+            for listener in self._listeners:
+                listener(event)
 
     # ------------------------------------------------------------------
     # Queries
@@ -77,7 +91,7 @@ class Tracer:
                     break
             else:
                 raise AssertionError(
-                    f"event ({category}, {kind}) not found in order; "
+                    f"event {(category, kind)!r} not found in order; "
                     f"have: {[(e.category, e.kind) for e in self.events]}"
                 )
 
@@ -146,7 +160,8 @@ def _instrument_node(tracer: Tracer, node) -> None:
         before = set(manager.sessions_out)
         original_start(joiner, sync_gid)
         if joiner not in before and joiner in manager.sessions_out:
-            tracer.emit(site, "transfer", "start", f"-> {joiner} sync={sync_gid}")
+            tracer.emit(site, "transfer", "start", f"-> {joiner} sync={sync_gid}",
+                        data={"joiner": joiner, "sync": sync_gid})
 
     manager.start_session = traced_start
 
@@ -154,7 +169,8 @@ def _instrument_node(tracer: Tracer, node) -> None:
 
     def traced_cancel(joiner):
         if joiner in manager.sessions_out:
-            tracer.emit(site, "transfer", "cancel", f"-> {joiner}")
+            tracer.emit(site, "transfer", "cancel", f"-> {joiner}",
+                        data={"joiner": joiner})
         original_cancel(joiner)
 
     manager.cancel_session = traced_cancel
@@ -165,7 +181,8 @@ def _instrument_node(tracer: Tracer, node) -> None:
         original_complete(msg)
         if manager.joiner_session is not None and manager.joiner_session.complete:
             tracer.emit(site, "transfer", "complete",
-                        f"baseline={msg.baseline_gid}")
+                        f"baseline={msg.baseline_gid}",
+                        data={"baseline": msg.baseline_gid})
 
     manager._on_transfer_complete = traced_complete
 

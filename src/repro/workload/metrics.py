@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
@@ -14,18 +15,26 @@ class LatencySummary:
     mean: float
     p50: float
     p95: float
+    p99: float
     maximum: float
 
 
 def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
-    """Mean / median / p95 / max of a latency sample (0s when empty)."""
+    """Mean / p50 / p95 / p99 / max of a latency sample (0s when empty).
+
+    Percentiles use the nearest-rank definition: the p-th percentile is
+    the smallest value such that at least ``p`` of the sample is <= it,
+    i.e. ``ordered[ceil(p * n) - 1]``.  (The previous ``int(p * n)``
+    over-indexed by one rank — for 100 samples it reported the 51st
+    value as the median.)
+    """
     if not latencies:
-        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0)
+        return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
     ordered = sorted(latencies)
     n = len(ordered)
 
     def percentile(p: float) -> float:
-        index = min(n - 1, int(p * n))
+        index = max(0, min(n - 1, math.ceil(p * n) - 1))
         return ordered[index]
 
     return LatencySummary(
@@ -33,6 +42,7 @@ def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
         mean=sum(ordered) / n,
         p50=percentile(0.50),
         p95=percentile(0.95),
+        p99=percentile(0.99),
         maximum=ordered[-1],
     )
 

@@ -17,13 +17,37 @@ class TestLatencySummary:
     def test_single_value(self):
         summary = summarize_latencies([0.5])
         assert summary.count == 1
-        assert summary.mean == summary.p50 == summary.p95 == summary.maximum == 0.5
+        assert (summary.mean == summary.p50 == summary.p95 == summary.p99
+                == summary.maximum == 0.5)
 
     def test_percentiles_ordered(self):
         summary = summarize_latencies([float(i) for i in range(100)])
-        assert summary.p50 <= summary.p95 <= summary.maximum
-        assert summary.p50 == 50.0
+        assert summary.p50 <= summary.p95 <= summary.p99 <= summary.maximum
+        # Nearest rank: ceil(0.5 * 100) = 50th ordered value = index 49.
+        assert summary.p50 == 49.0
         assert summary.maximum == 99.0
+
+    def test_nearest_rank_pinned(self):
+        # 1..100: the p-th percentile is exactly the value p under the
+        # nearest-rank definition (smallest value with >= p% of the
+        # sample at or below it).
+        sample = [float(i) for i in range(1, 101)]
+        summary = summarize_latencies(sample)
+        assert summary.p50 == 50.0
+        assert summary.p95 == 95.0
+        assert summary.p99 == 99.0
+
+    def test_nearest_rank_small_samples(self):
+        # n=2: p50 must be the first value (ceil(0.5*2)-1 = 0), not the
+        # second — the old int(p*n) indexing returned 2.0 here.
+        summary = summarize_latencies([1.0, 2.0])
+        assert summary.p50 == 1.0
+        assert summary.p95 == 2.0
+        # n=4: p95 clamps to the maximum.
+        summary = summarize_latencies([1.0, 2.0, 3.0, 4.0])
+        assert summary.p50 == 2.0
+        assert summary.p95 == 4.0
+        assert summary.p99 == 4.0
 
     def test_mean(self):
         assert summarize_latencies([1.0, 3.0]).mean == 2.0

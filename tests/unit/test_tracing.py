@@ -45,6 +45,67 @@ class TestTracer:
         with pytest.raises(AssertionError):
             tracer.assert_order(("transfer", "start"), ("transfer", "complete"))
 
+    def test_assert_order_failure_message_names_the_missing_event(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.emit("S1", "transfer", "complete")
+        with pytest.raises(AssertionError) as excinfo:
+            tracer.assert_order(("transfer", "start"), ("transfer", "complete"))
+        message = str(excinfo.value)
+        # Names the expectation that was not met...
+        assert "('transfer', 'start')" in message
+        # ...and dumps what actually happened, for debugging.
+        assert "('transfer', 'complete')" in message
+
+    def test_assert_order_consumes_events(self):
+        # Each expectation must match strictly *after* the previous one:
+        # a single event cannot satisfy the same pair twice.
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.emit("S1", "transfer", "start")
+        tracer.emit("S1", "transfer", "complete")
+        with pytest.raises(AssertionError):
+            tracer.assert_order(
+                ("transfer", "complete"), ("transfer", "start"))
+
+    def test_between_boundaries_are_half_open(self):
+        now = {"t": 0.0}
+        tracer = Tracer(clock=lambda: now["t"])
+        for t in (1.0, 1.5, 2.0):
+            now["t"] = t
+            tracer.emit("S1", "txn", f"at{t}")
+        # [start, end): the event at exactly start is included, the one
+        # at exactly end is not.
+        assert [e.kind for e in tracer.between(1.0, 2.0)] == ["at1.0", "at1.5"]
+        assert [e.kind for e in tracer.between(2.0, 3.0)] == ["at2.0"]
+        assert tracer.between(2.5, 2.5) == []
+
+    def test_of_filters_by_kind(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.emit("S1", "status", "recovering")
+        tracer.emit("S1", "status", "active")
+        tracer.emit("S2", "status", "active")
+        assert len(tracer.of("status", kind="active")) == 2
+        assert len(tracer.of("status", site="S1", kind="active")) == 1
+        assert tracer.of("status", kind="down") == []
+
+    def test_kinds_filters_by_site(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        tracer.emit("S1", "status", "recovering")
+        tracer.emit("S2", "status", "active")
+        assert tracer.kinds("status") == ["recovering", "active"]
+        assert tracer.kinds("status", site="S2") == ["active"]
+        assert tracer.kinds("transfer") == []
+
+    def test_listeners_see_events_as_emitted(self):
+        tracer = Tracer(clock=lambda: 0.0)
+        seen = []
+        tracer.add_listener(seen.append)
+        tracer.emit("S1", "txn", "submit", data={"txn": "S1#0"})
+        assert len(seen) == 1
+        assert seen[0].data == {"txn": "S1#0"}
+        tracer.enabled = False
+        tracer.emit("S1", "txn", "submit")
+        assert len(seen) == 1  # disabled tracer notifies nobody
+
     def test_timeline_renders(self):
         tracer = Tracer(clock=lambda: 1.25)
         tracer.emit("S1", "view", "install", "v")
