@@ -5,38 +5,37 @@ with database size, while the filtered strategies (version check,
 RecTable, lazy, log filter) scale with the *changed set*, which for a
 fixed downtime is roughly constant — so their advantage grows with the
 database.
+
+The parameter grid lives in ``repro.fleet.SWEEPS["db_size"]`` — the
+same cells ``python -m repro sweep --study db_size`` runs in parallel —
+so the benchmark table and the sweep fleet can never drift apart.
 """
 
-import pytest
-
 from benchmarks.conftest import once, print_table
+from repro.fleet import SWEEPS, recovery_kwargs
 from repro.scenarios import run_recovery_experiment
 
-SIZES = (100, 400, 1000)
-STRATEGIES = ("full", "version_check", "rectable", "log_filter", "lazy")
+STUDY = SWEEPS["db_size"]
+SIZES = tuple(dict.fromkeys(p["db_size"] for _, p in STUDY.grid))
 
 
 def test_transfer_cost_vs_db_size(benchmark):
     rows = []
 
     def sweep():
-        for strategy in STRATEGIES:
-            for size in SIZES:
-                report = run_recovery_experiment(
-                    strategy=strategy, db_size=size, downtime=0.5,
-                    arrival_rate=120.0, seed=41,
-                )
-                rows.append([
-                    strategy, size, report.completed,
-                    report.extra["recovery_time"],
-                    int(report.extra["objects_sent"]),
-                    int(report.extra["bytes_sent"]),
-                ])
+        for _key, params in STUDY.grid:
+            report = run_recovery_experiment(**recovery_kwargs(params))
+            rows.append([
+                params["strategy"], params["db_size"], report.completed,
+                report.extra["recovery_time"],
+                int(report.extra["objects_sent"]),
+                int(report.extra["bytes_sent"]),
+            ])
         return rows
 
     once(benchmark, sweep)
     print_table(
-        "E3 — recovery cost vs database size (downtime 0.5s, 120 txn/s)",
+        STUDY.title,
         ["strategy", "db size", "ok", "recovery time", "objects sent", "bytes sent"],
         rows,
     )

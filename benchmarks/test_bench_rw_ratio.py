@@ -4,38 +4,40 @@ Expected shape: transfer read locks conflict only with writers, so
 write-heavy workloads suffer more interference from lock-holding
 strategies (full/version-check) and produce a larger changed set; a
 read-heavy workload barely notices the transfer.
+
+The parameter grid lives in ``repro.fleet.SWEEPS["rw_ratio"]`` — the
+same cells ``python -m repro sweep --study rw_ratio`` runs in parallel —
+so the benchmark table and the sweep fleet can never drift apart.
 """
 
 from benchmarks.conftest import once, print_table
-from repro import NodeConfig
+from repro.fleet import SWEEPS, recovery_kwargs
 from repro.scenarios import run_recovery_experiment
 
-# (reads, writes) per transaction at a fixed total of 4 operations.
-MIXES = ((4, 0), (3, 1), (2, 2), (0, 4))
+STUDY = SWEEPS["rw_ratio"]
+
+
+def _mix(params):
+    return f"{params['reads_per_txn']}r/{params['writes_per_txn']}w"
 
 
 def test_interference_vs_rw_ratio(benchmark):
     rows = []
 
     def sweep():
-        for strategy in ("full", "log_filter"):
-            for reads, writes in MIXES:
-                report = run_recovery_experiment(
-                    strategy=strategy, db_size=300, downtime=0.5,
-                    arrival_rate=150.0, reads_per_txn=reads, writes_per_txn=writes,
-                    seed=53, node_config=NodeConfig(transfer_obj_time=0.001),
-                )
-                rows.append([
-                    strategy, f"{reads}r/{writes}w", report.completed,
-                    int(report.extra["objects_sent"]),
-                    report.extra["lock_wait_total"],
-                    report.extra["mean_latency"],
-                ])
+        for _key, params in STUDY.grid:
+            report = run_recovery_experiment(**recovery_kwargs(params))
+            rows.append([
+                params["strategy"], _mix(params), report.completed,
+                int(report.extra["objects_sent"]),
+                report.extra["lock_wait_total"],
+                report.extra["mean_latency"],
+            ])
         return rows
 
     once(benchmark, sweep)
     print_table(
-        "E6 — read/write mix vs transfer interference (db=300)",
+        STUDY.title,
         ["strategy", "mix", "ok", "objects sent", "total lock wait (s)", "mean latency"],
         rows,
     )

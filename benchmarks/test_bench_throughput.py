@@ -6,37 +6,38 @@ messages — "the joining site might not be able to store all transaction
 messages delivered during the data transfer, or might not be able to
 apply them fast enough" — while the lazy strategy keeps the enqueued
 window small (only the last round is synchronized).
+
+The parameter grid lives in ``repro.fleet.SWEEPS["throughput"]`` — the
+same cells ``python -m repro sweep --study throughput`` runs in
+parallel — so the benchmark table and the sweep fleet can never drift
+apart.
 """
 
 from benchmarks.conftest import once, print_table
-from repro import NodeConfig
+from repro.fleet import SWEEPS, recovery_kwargs
 from repro.scenarios import run_recovery_experiment
 
-RATES = (50.0, 150.0, 300.0)
+STUDY = SWEEPS["throughput"]
+RATES = tuple(dict.fromkeys(p["arrival_rate"] for _, p in STUDY.grid))
 
 
 def test_enqueue_backlog_vs_rate(benchmark):
     rows = []
 
     def sweep():
-        for strategy in ("full", "rectable", "lazy"):
-            for rate in RATES:
-                report = run_recovery_experiment(
-                    strategy=strategy, db_size=400, downtime=0.8,
-                    arrival_rate=rate, seed=47,
-                    node_config=NodeConfig(transfer_obj_time=0.001),
-                )
-                rows.append([
-                    strategy, rate, report.completed,
-                    int(report.extra["enqueue_high_watermark"]),
-                    report.replayed,
-                    report.extra["recovery_time"],
-                ])
+        for _key, params in STUDY.grid:
+            report = run_recovery_experiment(**recovery_kwargs(params))
+            rows.append([
+                params["strategy"], params["arrival_rate"], report.completed,
+                int(report.extra["enqueue_high_watermark"]),
+                report.replayed,
+                report.extra["recovery_time"],
+            ])
         return rows
 
     once(benchmark, sweep)
     print_table(
-        "E5 — joiner backlog vs offered load (db=400, downtime 0.8s)",
+        STUDY.title,
         ["strategy", "txn/s", "ok", "enqueue high-water", "replayed", "recovery time"],
         rows,
     )

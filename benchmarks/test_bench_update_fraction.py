@@ -6,36 +6,38 @@ often be highly inefficient, e.g., when the site has been down for a
 very short time"; the filtered strategies transfer only the changed
 part, so their cost grows with downtime while the full transfer is flat
 — with a crossover as the update fraction approaches one.
+
+The parameter grid lives in ``repro.fleet.SWEEPS["update_fraction"]`` —
+the same cells ``python -m repro sweep --study update_fraction`` runs in
+parallel — so the benchmark table and the sweep fleet can never drift
+apart.
 """
 
 from benchmarks.conftest import once, print_table
+from repro.fleet import SWEEPS, recovery_kwargs
 from repro.scenarios import run_recovery_experiment
 
-DOWNTIMES = (0.2, 1.0, 3.0)
-STRATEGIES = ("full", "version_check", "rectable", "lazy")
-DB_SIZE = 300
+STUDY = SWEEPS["update_fraction"]
+DB_SIZE = STUDY.grid[0][1]["db_size"]
 
 
 def test_transfer_cost_vs_update_fraction(benchmark):
     rows = []
 
     def sweep():
-        for strategy in STRATEGIES:
-            for downtime in DOWNTIMES:
-                report = run_recovery_experiment(
-                    strategy=strategy, db_size=DB_SIZE, downtime=downtime,
-                    arrival_rate=200.0, writes_per_txn=2, seed=43,
-                )
-                objects = int(report.extra["objects_sent"])
-                rows.append([
-                    strategy, downtime, round(objects / DB_SIZE, 3),
-                    report.completed, objects, report.extra["recovery_time"],
-                ])
+        for _key, params in STUDY.grid:
+            report = run_recovery_experiment(**recovery_kwargs(params))
+            objects = int(report.extra["objects_sent"])
+            rows.append([
+                params["strategy"], params["downtime"],
+                round(objects / DB_SIZE, 3),
+                report.completed, objects, report.extra["recovery_time"],
+            ])
         return rows
 
     once(benchmark, sweep)
     print_table(
-        "E4 — objects transferred vs downtime (db=300, 200 txn/s)",
+        STUDY.title,
         ["strategy", "downtime", "sent/db ratio", "ok", "objects sent", "recovery time"],
         rows,
     )

@@ -10,17 +10,28 @@ runs against a committed baseline) measure the same simulation:
 * ``chaos``     — one pinned seeded fault storm (seed 3).
 
 Each scenario reports wall-clock seconds, simulated seconds, commits,
-**simulated commits per wall-clock second** (the headline metric:
-batching must not change any virtual-time outcome, so all speedups show
-up here and only here), events processed, network messages delivered and
-transfer bytes.  Results are written as machine-readable JSON
-(``BENCH_results.json``); ``--baseline`` compares against a committed
-baseline file and fails the run when the headline metric regresses
-beyond the tolerance.
+and two rate metrics:
+
+* ``commits_per_sim_second`` — commits per *simulated* second.  The
+  simulation is a pure function of the seed, so this number is exactly
+  reproducible on any machine; a change means the protocol behaviour
+  changed, not the hardware.  This is the primary regression gate.
+* ``commits_per_wall_second`` — simulated commits per wall-clock second,
+  the headline *speed* metric (batching must not change any virtual-time
+  outcome, so all speedups show up here and only here).  Wall clocks are
+  noisy, so the gate treats this as a derated secondary check.
+
+Results are written as machine-readable JSON (``BENCH_results.json``);
+``--baseline`` compares against a committed baseline file and fails the
+run on either gate.  ``--jobs N`` fans the scenario matrix across worker
+processes (see :mod:`repro.fleet`); the merged payload is keyed by
+scenario name, never by completion order, so a parallel run is
+byte-identical to a serial one modulo the wall-clock fields.
 """
 
 from __future__ import annotations
 
+import copy
 import json
 import platform
 import sys
@@ -33,13 +44,27 @@ from repro.obs import collect_cluster_metrics
 from repro.workload.generator import LoadGenerator, WorkloadConfig
 
 #: Bump when the result-file layout changes.  2: per-scenario ``metrics``
-#: snapshots (repro.obs.collect_cluster_metrics).
-SCHEMA_VERSION = 2
+#: snapshots (repro.obs.collect_cluster_metrics).  3: per-scenario
+#: ``commits_per_sim_second`` (the deterministic gate metric).
+SCHEMA_VERSION = 3
 
-#: Default regression tolerance for --baseline comparisons: fail when a
-#: scenario's commits_per_wall_second drops more than this fraction
-#: below the baseline value.
+#: Default regression tolerance for the *wall-clock* --baseline check:
+#: fail when a scenario's commits_per_wall_second drops more than this
+#: fraction below the baseline value.  Wall clocks are noisy (shared CI
+#: runners), hence the generous default.
 DEFAULT_TOLERANCE = 0.20
+
+#: Default tolerance for the *deterministic* gate on
+#: commits_per_sim_second.  The simulation is seed-pure, so any drift
+#: here is a behaviour change; the small allowance exists only so that
+#: deliberate protocol improvements with marginal commit-count effects
+#: don't require a baseline regen to land.
+DEFAULT_SIM_TOLERANCE = 0.05
+
+#: Per-scenario result fields that depend on the wall clock (and hence
+#: legitimately differ between repetitions, machines and --jobs levels).
+#: Everything else in a scenario row is a pure function of the seed.
+WALL_CLOCK_FIELDS = ("wall_seconds", "commits_per_wall_second")
 
 
 @dataclass
@@ -51,6 +76,7 @@ class BenchResult:
     wall_seconds: float
     sim_seconds: float
     commits: int
+    commits_per_sim_second: float
     commits_per_wall_second: float
     events_processed: int
     messages_delivered: int
@@ -64,18 +90,27 @@ class BenchResult:
 def _result(name: str, completed: bool, wall: float, sim_seconds: float,
             commits: int, events: int, messages: int,
             transfer_bytes: int, cluster=None) -> BenchResult:
-    return BenchResult(
+    result = BenchResult(
         name=name,
         completed=completed,
         wall_seconds=round(wall, 4),
         sim_seconds=round(sim_seconds, 4),
         commits=commits,
+        commits_per_sim_second=(
+            round(commits / sim_seconds, 4) if sim_seconds > 0 else 0.0
+        ),
         commits_per_wall_second=round(commits / wall, 1) if wall > 0 else 0.0,
         events_processed=events,
         messages_delivered=messages,
         transfer_bytes=transfer_bytes,
         metrics=collect_cluster_metrics(cluster) if cluster is not None else {},
     )
+    # Stash the live cluster as a plain attribute (not a dataclass field,
+    # so asdict() and the JSON payload never see it): the determinism
+    # auditor re-digests the final replica states and histories of the
+    # exact run the benchmark measured.
+    result.cluster = cluster
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -153,10 +188,46 @@ def bench_chaos(smoke: bool = False, batching: bool = True) -> BenchResult:
 
 SCENARIOS = ("throughput", "figure1", "figure2_evs", "chaos")
 
+_RUNNERS = {
+    "throughput": lambda smoke, batching: bench_throughput(smoke, batching),
+    "figure1": lambda smoke, batching: bench_figure("vs", smoke, batching),
+    "figure2_evs": lambda smoke, batching: bench_figure("evs", smoke, batching),
+    "chaos": lambda smoke, batching: bench_chaos(smoke, batching),
+}
+
+
+def validate_scenarios(names: List[str]) -> None:
+    """Reject unknown scenario names with the valid choices spelled out
+    (instead of the raw ``KeyError`` a typo used to produce)."""
+    unknown = [name for name in names if name not in _RUNNERS]
+    if unknown:
+        raise ValueError(
+            f"unknown scenario(s) {', '.join(sorted(unknown))}; "
+            f"valid choices: {', '.join(SCENARIOS)}"
+        )
+
+
+def run_scenario(name: str, smoke: bool = False,
+                 batching: bool = True) -> BenchResult:
+    """Run one pinned scenario by name."""
+    validate_scenarios([name])
+    return _RUNNERS[name](smoke, batching)
+
+
+def _best_of_rows(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Keep the repetition with the highest wall-clock rate.  All
+    deterministic fields are identical across repetitions, so this only
+    selects the least-noisy wall measurement."""
+    best = rows[0]
+    for row in rows[1:]:
+        if row["commits_per_wall_second"] > best["commits_per_wall_second"]:
+            best = row
+    return best
+
 
 def run_matrix(smoke: bool = False, batching: bool = True,
                only: Optional[List[str]] = None,
-               best_of: int = 1) -> Dict[str, Any]:
+               best_of: int = 1, jobs: int = 1) -> Dict[str, Any]:
     """Run the pinned matrix; returns the BENCH_results.json payload.
 
     ``best_of`` repeats each scenario and keeps the repetition with the
@@ -164,44 +235,120 @@ def run_matrix(smoke: bool = False, batching: bool = True,
     repetitions differ only in wall-clock noise — and a regression gate
     only cares about downward deviation, for which best-of-N is the
     right estimator.
+
+    ``jobs`` > 1 fans the (scenario, repetition) grid across worker
+    processes via :mod:`repro.fleet`.  Results are merged by scenario
+    name in matrix order — never by completion order — so the payload is
+    identical to a serial run except for the wall-clock fields
+    (:data:`WALL_CLOCK_FIELDS`).
     """
-    runners = {
-        "throughput": lambda: bench_throughput(smoke, batching),
-        "figure1": lambda: bench_figure("vs", smoke, batching),
-        "figure2_evs": lambda: bench_figure("evs", smoke, batching),
-        "chaos": lambda: bench_chaos(smoke, batching),
-    }
     names = list(only) if only else list(SCENARIOS)
+    validate_scenarios(names)
+    reps = max(1, best_of)
     results: Dict[str, Dict[str, Any]] = {}
-    for name in names:
-        best: Optional[BenchResult] = None
-        for _ in range(max(1, best_of)):
-            result = runners[name]()
-            if best is None or result.commits_per_wall_second > best.commits_per_wall_second:
-                best = result
-        results[name] = asdict(best)
+    if jobs > 1:
+        from repro.fleet import FleetTask, run_fleet
+
+        tasks = [
+            FleetTask(key=f"{name}#{rep}", kind="bench",
+                      params={"scenario": name, "smoke": smoke,
+                              "batching": batching})
+            for name in names for rep in range(reps)
+        ]
+        payloads = run_fleet(tasks, jobs=jobs)
+        for name in names:
+            rows = [payloads[f"{name}#{rep}"] for rep in range(reps)]
+            for row in rows:
+                if "fleet_error" in row:
+                    raise RuntimeError(
+                        f"bench scenario {name} failed in worker: "
+                        f"{row['fleet_error']}"
+                    )
+            results[name] = _best_of_rows(rows)
+    else:
+        for name in names:
+            rows = [asdict(run_scenario(name, smoke, batching))
+                    for _ in range(reps)]
+            results[name] = _best_of_rows(rows)
     return {
         "schema": SCHEMA_VERSION,
         "smoke": smoke,
         "batching": batching,
-        "best_of": max(1, best_of),
+        "best_of": reps,
         "python": platform.python_version(),
         "scenarios": results,
     }
+
+
+def deterministic_payload(results: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of a results payload with every wall-clock-dependent field
+    removed.  Two runs of the same matrix — serial or parallel, on any
+    machine — must produce byte-identical JSON for this view; the
+    determinism audit and the ``--jobs`` equivalence test compare it."""
+    payload = copy.deepcopy(results)
+    payload.pop("python", None)
+    for row in payload.get("scenarios", {}).values():
+        for fieldname in WALL_CLOCK_FIELDS:
+            row.pop(fieldname, None)
+    return payload
 
 
 # ----------------------------------------------------------------------
 # Baseline comparison (CI regression gate)
 # ----------------------------------------------------------------------
 def compare_to_baseline(results: Dict[str, Any], baseline: Dict[str, Any],
-                        tolerance: float = DEFAULT_TOLERANCE) -> List[str]:
-    """Return one failure message per scenario whose simulated
-    commits/s fell more than ``tolerance`` below the baseline."""
+                        tolerance: float = DEFAULT_TOLERANCE,
+                        sim_tolerance: float = DEFAULT_SIM_TOLERANCE) -> List[str]:
+    """Return one failure message per gate violation.
+
+    The gate is two-tier:
+
+    * **deterministic** — ``commits_per_sim_second`` (commits per
+      *simulated* second) must stay within ``sim_tolerance`` of the
+      baseline.  This metric is a pure function of the seed, identical
+      across machines and across the batching on/off configurations, so
+      a drop means the protocol's behaviour changed.
+    * **wall-clock** — ``commits_per_wall_second`` must stay within
+      ``tolerance`` (noisy secondary check for real slowdowns).
+
+    Scenario-set mismatches are failures in *both* directions: a
+    scenario present in the baseline but missing from the results (a
+    renamed or dropped scenario must not pass CI unguarded), and a
+    scenario present in the results but absent from the baseline (the
+    baseline must be regenerated to cover it).
+    """
     failures: List[str] = []
-    for name, row in results.get("scenarios", {}).items():
-        base_row = baseline.get("scenarios", {}).get(name)
-        if base_row is None:
-            continue
+    rows = results.get("scenarios", {})
+    base_rows = baseline.get("scenarios", {})
+    if "smoke" in results and "smoke" in baseline and \
+            bool(results["smoke"]) != bool(baseline["smoke"]):
+        failures.append(
+            f"configuration mismatch: results smoke={bool(results['smoke'])} "
+            f"but baseline smoke={bool(baseline['smoke'])} — the scales are "
+            f"not comparable; regenerate the baseline at the same scale"
+        )
+        return failures
+    for name in sorted(set(base_rows) - set(rows)):
+        failures.append(
+            f"{name}: present in the baseline but missing from the results "
+            f"— a renamed or dropped scenario must be reflected in a "
+            f"regenerated baseline, not skipped"
+        )
+    for name in sorted(set(rows) - set(base_rows)):
+        failures.append(
+            f"{name}: not covered by the baseline — regenerate the baseline "
+            f"to gate this scenario"
+        )
+    for name in (n for n in rows if n in base_rows):
+        row, base_row = rows[name], base_rows[name]
+        base_sim = base_row.get("commits_per_sim_second", 0.0)
+        current_sim = row.get("commits_per_sim_second", 0.0)
+        if base_sim > 0 and current_sim < base_sim * (1.0 - sim_tolerance):
+            failures.append(
+                f"{name}: deterministic rate {current_sim:.1f} commits per "
+                f"simulated second is more than {sim_tolerance:.0%} below "
+                f"baseline {base_sim:.1f} — behaviour change, not noise"
+            )
         base = base_row.get("commits_per_wall_second", 0.0)
         current = row.get("commits_per_wall_second", 0.0)
         if base > 0 and current < base * (1.0 - tolerance):
@@ -219,16 +366,22 @@ def main(smoke: bool = False, batching: bool = True,
          baseline: Optional[str] = None,
          tolerance: float = DEFAULT_TOLERANCE,
          only: Optional[List[str]] = None,
-         best_of: int = 1) -> int:
-    results = run_matrix(smoke=smoke, batching=batching, only=only,
-                         best_of=best_of)
+         best_of: int = 1, jobs: int = 1) -> int:
+    try:
+        results = run_matrix(smoke=smoke, batching=batching, only=only,
+                             best_of=best_of, jobs=jobs)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     header = (f"{'scenario':14s} {'wall s':>8s} {'sim s':>8s} {'commits':>8s} "
-              f"{'commits/s':>10s} {'events':>9s} {'messages':>9s} {'xfer B':>9s}")
+              f"{'sim c/s':>8s} {'wall c/s':>9s} {'events':>9s} "
+              f"{'messages':>9s} {'xfer B':>9s}")
     print(header)
     print("-" * len(header))
     for name, row in results["scenarios"].items():
         print(f"{name:14s} {row['wall_seconds']:8.3f} {row['sim_seconds']:8.2f} "
-              f"{row['commits']:8d} {row['commits_per_wall_second']:10.1f} "
+              f"{row['commits']:8d} {row['commits_per_sim_second']:8.1f} "
+              f"{row['commits_per_wall_second']:9.1f} "
               f"{row['events_processed']:9d} {row['messages_delivered']:9d} "
               f"{row['transfer_bytes']:9d}"
               + ("" if row["completed"] else "   [INCOMPLETE]"))

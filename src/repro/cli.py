@@ -8,20 +8,27 @@ Usage::
     python -m repro figure1 --mode evs           # the cascading scenario
     python -m repro trace --mode evs             # recovery with a timeline
     python -m repro chaos --seed 3 --intensity 0.5   # randomized fault storm
-    python -m repro bench --output BENCH_results.json    # pinned benchmark matrix
+    python -m repro chaos --seeds 0..15 --jobs 4     # parallel seed fleet
+    python -m repro bench --jobs 4                   # pinned benchmark matrix
+    python -m repro sweep --study db_size --jobs 4   # parameter-study grid
+    python -m repro audit --jobs 4                   # determinism audit
     python -m repro report --out-dir obs_out         # observed run + artifacts
 
 Every command runs a deterministic simulation and prints its results;
-pass ``--seed`` to vary the run.
+pass ``--seed`` to vary the run.  ``--jobs N`` fans independent
+simulations across worker processes (repro.fleet) with deterministic,
+completion-order-independent result merging.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro import ClusterBuilder, LoadGenerator, WorkloadConfig
+from repro.bench import SCENARIOS as BENCH_SCENARIOS
 from repro.reconfig.strategies import ALL_STRATEGY_NAMES
 from repro.replication.node import SiteStatus
 from repro.scenarios import run_figure1_scenario, run_recovery_experiment
@@ -185,6 +192,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import ChaosConfig, ChaosEngine
 
+    if args.seeds is not None:
+        return _cmd_chaos_fleet(args)
     observe = args.trace is not None or args.metrics is not None
     config = ChaosConfig(
         seed=args.seed, intensity=args.intensity, n_sites=args.sites,
@@ -218,6 +227,137 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
+    """Run one storm per seed across worker processes; the per-seed
+    table is ordered by seed, never by completion."""
+    from repro.fleet import parse_seed_spec, run_chaos_fleet
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    results = run_chaos_fleet(
+        seeds, jobs=args.jobs, intensity=args.intensity, n_sites=args.sites,
+        db_size=args.db_size, duration=args.duration, mode=args.mode,
+        strategy=args.strategy, arrival_rate=args.rate,
+    )
+    wall = time.perf_counter() - start
+    header = (f"{'seed':>6s} {'verdict':8s} {'faults':>7s} {'commits':>8s} "
+              f"{'aborts':>7s} {'tears':>6s}  trace digest")
+    print(header)
+    print("-" * len(header))
+    failed: List[int] = []
+    for seed in seeds:
+        payload = results[seed]
+        if "fleet_error" in payload:
+            failed.append(seed)
+            print(f"{seed:6d} ERROR    worker crashed:")
+            print("    " + payload["fleet_error"].strip().replace("\n", "\n    "))
+            continue
+        if not payload["ok"]:
+            failed.append(seed)
+        metrics = payload["metrics"]
+        print(f"{seed:6d} {'PASS' if payload['ok'] else 'FAIL':8s} "
+              f"{payload['fault_events']:7d} {metrics.get('commits', 0):8d} "
+              f"{metrics.get('aborts', 0):7d} {payload['wal_tears']:6d}  "
+              f"{payload['trace_digest'][:16]}")
+        if not payload["ok"]:
+            print(f"       error: {payload['error']}")
+    print(f"\n{len(seeds)} storms in {wall:.1f}s wall "
+          f"(--jobs {args.jobs}); {len(seeds) - len(failed)} passed, "
+          f"{len(failed)} failed")
+    if failed:
+        repro = ", ".join(
+            f"python -m repro chaos --seed {seed} --mode {args.mode}"
+            for seed in failed[:3]
+        )
+        print(f"reproduce: {repro}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.fleet import SWEEPS, run_sweep
+
+    if args.list:
+        for name, study in sorted(SWEEPS.items()):
+            print(f"{name:16s} {len(study.grid):3d} cells  {study.title}")
+        return 0
+    if args.study is None:
+        print("error: --study is required (or --list)", file=sys.stderr)
+        return 2
+    start = time.perf_counter()
+    try:
+        result = run_sweep(args.study, jobs=args.jobs)
+    except (ValueError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - start
+    columns = [c for c in result["rows"][0] if c not in ("payload",)]
+    widths = {c: len(c) for c in columns}
+    rendered = []
+    for row in result["rows"]:
+        cells = {}
+        for column in columns:
+            value = row[column]
+            cells[column] = (f"{value:.4g}" if isinstance(value, float)
+                            else str(value))
+            widths[column] = max(widths[column], len(cells[column]))
+        rendered.append(cells)
+    print(f"=== {result['title']} ===")
+    line = "  ".join(c.ljust(widths[c]) for c in columns)
+    print(line)
+    print("-" * len(line))
+    for cells in rendered:
+        print("  ".join(cells[c].ljust(widths[c]) for c in columns))
+    print(f"\n{len(result['rows'])} cells in {wall:.1f}s wall "
+          f"(--jobs {args.jobs})")
+    if args.output:
+        payload = {
+            "study": result["study"],
+            "title": result["title"],
+            "rows": [
+                {**{k: v for k, v in row.items() if k != "payload"},
+                 "report": row["payload"]}
+                for row in result["rows"]
+            ],
+        }
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"results written to {args.output}")
+    incomplete = [row["cell"] for row in result["rows"]
+                  if not row.get("completed")]
+    if incomplete:
+        print(f"INCOMPLETE cells: {', '.join(incomplete)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro import audit
+
+    if args.list:
+        for case_id, case in audit.CASES.items():
+            axes = ", ".join(("determinism",) + case.axes)
+            print(f"{case_id:24s} [{axes}]")
+        return 0
+    start = time.perf_counter()
+    try:
+        outcome = audit.run_audit(case_ids=args.case or None, jobs=args.jobs,
+                                  dump_dir=args.dump_dir)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - start
+    print(outcome.render())
+    print(f"({wall:.1f}s wall at --jobs {args.jobs})")
+    return 0 if outcome.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
@@ -230,6 +370,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         tolerance=args.tolerance,
         only=only,
         best_of=args.best_of,
+        jobs=args.jobs,
     )
 
 
@@ -304,6 +445,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="PATH",
                        help="attach observability and write a Prometheus-style "
                             "metrics dump (default PATH: %(const)s)")
+    chaos.add_argument("--seeds", default=None, metavar="SPEC",
+                       help="run a whole seed fleet instead of one storm: "
+                            "'0..15', '1,2,5' or a mix; results are merged "
+                            "by seed (use with --jobs)")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --seeds fleets "
+                            "(default %(default)s)")
     chaos.set_defaults(fn=_cmd_chaos)
 
     bench = sub.add_parser(
@@ -323,12 +471,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="allowed fractional regression vs the baseline "
                             "(default %(default)s)")
     bench.add_argument("--scenario", action="append",
-                       choices=("throughput", "figure1", "figure2_evs", "chaos"),
-                       help="run only the given scenario (repeatable)")
+                       choices=BENCH_SCENARIOS, metavar="NAME",
+                       help="run only the given scenario (repeatable); "
+                            f"choices: {', '.join(BENCH_SCENARIOS)}")
     bench.add_argument("--best-of", type=int, default=1,
                        help="repeat each scenario N times, report the fastest "
                             "(wall-clock noise reduction; default %(default)s)")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the scenario matrix; the "
+                            "merged payload is identical to --jobs 1 modulo "
+                            "wall-clock fields (default %(default)s)")
     bench.set_defaults(fn=_cmd_bench)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a benchmark parameter-study grid (repro.fleet.SWEEPS) "
+             "across worker processes",
+    )
+    sweep.add_argument("--study", default=None,
+                       help="study name (see --list)")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default %(default)s)")
+    sweep.add_argument("--output", default=None, metavar="FILE",
+                       help="also write the merged rows as JSON")
+    sweep.add_argument("--list", action="store_true",
+                       help="list the available studies and exit")
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    audit = sub.add_parser(
+        "audit",
+        help="determinism audit: double-run every pinned scenario/seed "
+             "(plus batching/obs equivalence runs) and diff digests",
+    )
+    audit.add_argument("--case", action="append", metavar="CASE_ID",
+                       help="audit only the given case (repeatable; "
+                            "see --list)")
+    audit.add_argument("--jobs", type=int, default=1,
+                       help="worker processes; at >1 the paired runs land in "
+                            "different interpreters with different hash "
+                            "seeds — a stronger check (default %(default)s)")
+    audit.add_argument("--dump-dir", default="audit_out", metavar="DIR",
+                       help="where to write per-variant divergence artifacts "
+                            "on failure (default %(default)s)")
+    audit.add_argument("--list", action="store_true",
+                       help="list the pinned audit cases and exit")
+    audit.set_defaults(fn=_cmd_audit)
 
     return parser
 

@@ -116,6 +116,35 @@ class ChaosReport:
             f"({self.wal_corruptions} with corruption)"
         )
 
+    def payload(self) -> Dict[str, Any]:
+        """A picklable plain-data view of the report for the
+        :mod:`repro.fleet` seed fleets: the verdict, the aggregate
+        metrics, and digests of the fault schedule and the full trace
+        (the trace itself can be thousands of lines; a seed fleet only
+        needs to compare runs, and a digest mismatch pinpoints the seed
+        to re-run locally with ``python -m repro chaos --seed N``)."""
+        import hashlib
+
+        schedule = "\n".join(
+            f"{time:.6f} {action} {detail}" for time, action, detail in self.events
+        )
+        trace = ""
+        if self.tracer is not None:
+            trace = "\n".join(str(event) for event in self.tracer.events)
+        return {
+            "seed": self.seed,
+            "intensity": self.intensity,
+            "ok": self.ok,
+            "error": self.error,
+            "fault_events": len(self.events),
+            "wal_tears": self.wal_tears,
+            "wal_corruptions": self.wal_corruptions,
+            "metrics": {key: value for key, value in self.metrics.items()},
+            "schedule_digest": hashlib.sha256(schedule.encode()).hexdigest(),
+            "trace_digest": hashlib.sha256(trace.encode()).hexdigest(),
+            "trace_events": len(self.tracer.events) if self.tracer else 0,
+        }
+
 
 class ChaosEngine:
     """Runs one seeded chaos storm against a freshly built cluster."""

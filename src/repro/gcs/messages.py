@@ -59,7 +59,7 @@ class Ordered:
     payload: Any
 
 
-@dataclass(frozen=True)
+@dataclass
 class OrderedBatch:
     """Several Ordered messages coalesced into one wire message.
 
@@ -69,6 +69,13 @@ class OrderedBatch:
     all contained messages at once; the per-seq NAK/retransmission path
     (which always uses plain :class:`Ordered`) repairs the gap exactly as
     it would for individually lost messages.
+
+    Deliberately mutable: the sequencer puts the (empty) batch on the
+    wire when it sequences the first message of a round — reserving the
+    delivery slot that message would have had unbatched, so same-tick
+    event ordering at the receivers is identical in both modes — and
+    seals ``items``/``ack_high`` at end of tick, before any delivery can
+    fire.
     """
 
     view_id: ViewId

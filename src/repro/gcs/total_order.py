@@ -45,12 +45,16 @@ class ViewTotalOrder:
     A fresh instance is created at every view installation; the old one
     is discarded after its flush cut has been extracted.
 
-    When ``defer`` is given and ``batch`` is True, the sequencer stages
+    When ``defer`` is given and ``batch`` is True, the sequencer ships
     the Ordered messages produced within one delivery round (one
-    simulator tick) and flushes them as a single :class:`OrderedBatch`
-    per member at the end of the tick — same arrival times, far fewer
-    wire messages.  Local self-delivery stays immediate, so the
-    sequencer's own protocol state is identical either way.
+    simulator tick) as a single :class:`OrderedBatch` per member — same
+    arrival times, far fewer wire messages.  The (mutable) batch goes on
+    the wire when the round's first message is sequenced, reserving that
+    message's delivery slot so same-time event ordering at the receivers
+    matches unbatched mode exactly; it is sealed by the deferred
+    end-of-tick flush, before any delivery can fire.  Local
+    self-delivery stays immediate, so the sequencer's own protocol state
+    is identical either way.
     """
 
     def __init__(
@@ -96,6 +100,9 @@ class ViewTotalOrder:
         self._defer = defer
         self._batch = batch and defer is not None
         self._stage: List[Ordered] = []
+        #: The in-flight mutable batch of the current round (already on
+        #: the wire, sealed by :meth:`flush_staged`); None between rounds.
+        self._open_batch: Optional[OrderedBatch] = None
         self._flush_scheduled = False
         self._ack_deferred = False
         self.batches_sent = 0
@@ -136,9 +143,19 @@ class ViewTotalOrder:
             # Stage the remote sends; deliver to self immediately so the
             # sequencer's own ack/highwater state matches unbatched mode.
             self._stage.append(ordered)
-            if not self._flush_scheduled:
+            if self._open_batch is None:
+                # Ship the (still empty) batch now, at the wire slot the
+                # first per-message send would have occupied: delivery
+                # events fire in insertion order at equal virtual times,
+                # so sending only at end of tick would let same-time
+                # timers scheduled mid-tick overtake the delivery and
+                # observably reorder events relative to unbatched mode.
+                # The seal (the deferred flush) runs before any delivery
+                # of this tick's sends can fire.
                 self._flush_scheduled = True
                 self._defer(self.flush_staged)
+                self._open_batch = OrderedBatch(view_id=self.view.view_id, items=())
+                self._send_many(self._others, self._open_batch)
             self.on_ordered(ordered)
             return
         for member in self.view.members:
@@ -148,25 +165,23 @@ class ViewTotalOrder:
                 self._send(member, ordered)
 
     def flush_staged(self) -> None:
-        """Ship the Ordered messages staged in the current delivery round
-        as one OrderedBatch per remote member.  Called at end-of-tick by
-        the deferred flush, and synchronously when the view freezes for a
-        membership round so nothing stays staged across a view change."""
+        """Seal the in-flight OrderedBatch of the current delivery round
+        (it is already on the wire, see :meth:`on_data`).  Called at
+        end-of-tick by the deferred flush, and synchronously when the
+        view freezes for a membership round so nothing stays staged
+        across a view change."""
         self._flush_scheduled = False
         ack_high = self.recv_highwater if self._ack_deferred else -1
         self._ack_deferred = False
-        if self._stage:
-            items = tuple(self._stage)
+        batch = self._open_batch
+        if batch is not None:
+            self._open_batch = None
+            batch.items = tuple(self._stage)
+            batch.ack_high = ack_high
             self._stage.clear()
             self.batches_sent += 1
             if self.obs is not None:
-                self.obs.batch_size.observe(len(items))
-            if len(items) == 1 and ack_high < 0:
-                batch: object = items[0]
-            else:
-                batch = OrderedBatch(view_id=self.view.view_id, items=items,
-                                     ack_high=ack_high)
-            self._send_many(self._others, batch)
+                self.obs.batch_size.observe(len(batch.items))
             return
         if ack_high >= 0:
             ack = Ack(sender=self.me, view_id=self.view.view_id, highwater=ack_high)

@@ -52,6 +52,27 @@ class ScenarioReport:
         merge requests under EVS (the quantity Figures 1 vs 2 contrast)."""
         return self.announcements + self.svs_merges + self.sv_merges
 
+    def payload(self) -> Dict[str, object]:
+        """A picklable plain-data view of the report (everything except
+        the live cluster), used by the :mod:`repro.fleet` workers to
+        ship results across the process boundary."""
+        return {
+            "mode": self.mode,
+            "strategy": self.strategy,
+            "completed": self.completed,
+            "duration": self.duration,
+            "commits": self.commits,
+            "aborts": self.aborts,
+            "transfers_started": self.transfers_started,
+            "transfers_completed": self.transfers_completed,
+            "announcements": self.announcements,
+            "svs_merges": self.svs_merges,
+            "sv_merges": self.sv_merges,
+            "replayed": self.replayed,
+            "notes": list(self.notes),
+            "extra": dict(self.extra),
+        }
+
 
 #: Observers called with every freshly collected ScenarioReport (which
 #: carries its cluster).  The benchmark conftest registers one to

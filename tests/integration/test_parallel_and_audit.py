@@ -1,0 +1,56 @@
+"""Integration tests for the parallel fleet and the determinism audit.
+
+Three end-to-end guarantees:
+
+* ``bench --jobs N`` is *invisible* in the output: the deterministic
+  payload produced by a 2-worker run is byte-identical to the serial
+  run's (only wall-clock fields may differ, and they are stripped).
+* ``repro audit`` passes on a pinned chaos regression case — the
+  determinism claim the whole gate rests on actually holds.
+* The auditor is not vacuous: with the ``REPRO_AUDIT_SABOTAGE`` hook
+  injecting real nondeterminism (a perturbed seed on the second run),
+  the audit must fail, name the diverging digests, write dump
+  artifacts, and print a minimal repro command.
+"""
+
+import json
+
+from repro.audit import SABOTAGE_ENV, run_audit
+from repro.bench import deterministic_payload, run_matrix
+
+
+def canonical(results):
+    return json.dumps(deterministic_payload(results), sort_keys=True,
+                      indent=2)
+
+
+def test_bench_jobs_payload_identical_to_serial():
+    serial = run_matrix(smoke=True, only=["figure1", "chaos"], jobs=1)
+    fleet = run_matrix(smoke=True, only=["figure1", "chaos"], jobs=2)
+    assert canonical(fleet) == canonical(serial)
+
+
+def test_audit_passes_on_pinned_chaos_case():
+    outcome = run_audit(["chaos:vs:23"], jobs=1)
+    assert outcome.ok
+    assert outcome.passed == ["chaos:vs:23"]
+
+
+def test_audit_fails_on_injected_nondeterminism(monkeypatch, tmp_path):
+    monkeypatch.setenv(SABOTAGE_ENV, "1")
+    outcome = run_audit(["chaos:vs:23"], jobs=1, dump_dir=str(tmp_path))
+    assert not outcome.ok
+    failure = outcome.failures[0]
+    assert failure.axis == "determinism"
+    assert failure.diverging_keys  # digest keys are named
+    assert failure.repro == \
+        "PYTHONPATH=src python -m repro audit --case chaos:vs:23"
+    assert "chaos:vs:23" in failure.render()
+    # Divergence dumps were written for both runs of the pair.
+    dumps = sorted(p.name for p in tmp_path.iterdir())
+    assert len(dumps) == 2
+    assert "dumps:" in failure.detail
+    # The sabotage hook must not leak into ordinary runs: with the env
+    # cleared the same case is deterministic again.
+    monkeypatch.delenv(SABOTAGE_ENV)
+    assert run_audit(["chaos:vs:23"], jobs=1).ok

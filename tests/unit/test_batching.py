@@ -57,8 +57,14 @@ class TestSequencerStaging:
         to, sent, delivered, deferred = make_sequencer()
         for i in range(3):
             to.on_data(data(i))
-        # Nothing on the wire yet; exactly one deferred flush scheduled.
-        assert sent == []
+        # The (empty, still mutable) batch went on the wire with the
+        # *first* message of the round — reserving that message's
+        # delivery slot so same-time event ordering at the receivers is
+        # identical to unbatched mode — and one deferred seal is
+        # scheduled.  Nothing is readable from the batch yet.
+        assert {dst for dst, _ in sent} == {"S2", "S3"}
+        assert len(sent) == 2
+        assert all(msg.items == () for _, msg in sent)
         assert len(deferred) == 1
         # Local self-sequencing happened immediately (the sequencer's
         # protocol state must match unbatched mode within the tick);
@@ -66,10 +72,10 @@ class TestSequencerStaging:
         assert to.recv_highwater == 2
         assert to.ack_high["S1"] == 2
         assert delivered == []
-        deferred.pop()()  # end of tick
+        deferred.pop()()  # end of tick: seal the in-flight batch
         batches = [msg for _, msg in sent if isinstance(msg, OrderedBatch)]
-        assert {dst for dst, _ in sent} == {"S2", "S3"}
         assert len(sent) == 2 and len(batches) == 2
+        assert batches[0] is batches[1]  # one shared sealed batch object
         for b in batches:
             assert [m.payload for m in b.items] == ["m0", "m1", "m2"]
             assert [m.seq for m in b.items] == [0, 1, 2]
@@ -90,20 +96,21 @@ class TestSequencerStaging:
 
     def test_flush_on_view_freeze_leaves_nothing_staged(self):
         """freeze_for_flush() calls flush_staged() synchronously; the
-        staged round must ship before the flush cut is extracted so no
-        sequenced message is lost across the view change."""
+        staged round must be sealed before the flush cut is extracted so
+        no sequenced message is lost across the view change."""
         to, sent, _, deferred = make_sequencer()
         to.on_data(data(0))
         to.on_data(data(1))
-        assert sent == []
         to.flush_staged()  # what GroupMember.freeze_for_flush drives
         assert to._stage == []
         batches = [msg for _, msg in sent if isinstance(msg, OrderedBatch)]
         assert len(batches) == 2  # one per remote member
+        assert all(len(b.items) == 2 for b in batches)
         # The deferred end-of-tick flush still fires but is now a no-op.
         before = list(sent)
         deferred.pop()()
         assert sent == before
+        assert all(len(b.items) == 2 for b in batches)
 
     def test_receiver_batch_equals_individual_orders(self):
         """on_ordered_batch must leave the receiver in the same state as

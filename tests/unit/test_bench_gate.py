@@ -1,0 +1,121 @@
+"""Unit tests for the bench regression gate (repro.bench).
+
+``compare_to_baseline`` is the CI tripwire, so its failure modes are
+pinned exhaustively here: scenario-set mismatches in *both* directions,
+the deterministic commits-per-simulated-second gate (primary), the
+noisy wall-clock gate (secondary), incomplete scenarios, and the
+smoke-scale mismatch short-circuit.  Unknown scenario names must be
+rejected with the valid choices listed — at the library level and at
+the argparse level.
+"""
+
+import pytest
+
+from repro import cli
+from repro.bench import (
+    DEFAULT_SIM_TOLERANCE,
+    DEFAULT_TOLERANCE,
+    SCENARIOS,
+    compare_to_baseline,
+    run_matrix,
+    validate_scenarios,
+)
+
+
+def row(sim=100.0, wall=50.0, completed=True):
+    return {
+        "commits_per_sim_second": sim,
+        "commits_per_wall_second": wall,
+        "completed": completed,
+    }
+
+
+def payload(smoke=True, **scenarios):
+    return {"smoke": smoke, "scenarios": scenarios}
+
+
+class TestCompareToBaseline:
+    def test_identical_payloads_pass(self):
+        base = payload(a=row(), b=row())
+        assert compare_to_baseline(payload(a=row(), b=row()), base) == []
+
+    def test_scenario_missing_from_results_fails(self):
+        failures = compare_to_baseline(
+            payload(a=row()), payload(a=row(), b=row()))
+        assert len(failures) == 1
+        assert "b: present in the baseline but missing from the results" \
+            in failures[0]
+
+    def test_scenario_missing_from_baseline_fails(self):
+        failures = compare_to_baseline(
+            payload(a=row(), b=row()), payload(a=row()))
+        assert len(failures) == 1
+        assert "b: not covered by the baseline" in failures[0]
+
+    def test_mismatches_in_both_directions_reported_together(self):
+        failures = compare_to_baseline(
+            payload(a=row(), c=row()), payload(a=row(), b=row()))
+        assert len(failures) == 2
+        assert any("missing from the results" in f for f in failures)
+        assert any("not covered by the baseline" in f for f in failures)
+
+    def test_incomplete_scenario_fails(self):
+        failures = compare_to_baseline(
+            payload(a=row(completed=False)), payload(a=row()))
+        assert failures == ["a: scenario did not complete"]
+
+    def test_sim_rate_drop_fails_even_with_healthy_wall_clock(self):
+        drop = 1.0 - DEFAULT_SIM_TOLERANCE - 0.02
+        failures = compare_to_baseline(
+            payload(a=row(sim=100.0 * drop, wall=50.0)),
+            payload(a=row()))
+        assert len(failures) == 1
+        assert "commits per simulated second" in failures[0]
+        assert "behaviour change, not noise" in failures[0]
+
+    def test_sim_rate_within_tolerance_passes(self):
+        within = 1.0 - DEFAULT_SIM_TOLERANCE / 2
+        assert compare_to_baseline(
+            payload(a=row(sim=100.0 * within)), payload(a=row())) == []
+
+    def test_wall_clock_drop_fails_as_secondary_gate(self):
+        drop = 1.0 - DEFAULT_TOLERANCE - 0.05
+        failures = compare_to_baseline(
+            payload(a=row(wall=50.0 * drop)), payload(a=row()))
+        assert len(failures) == 1
+        assert "commits/s" in failures[0]
+
+    def test_wall_clock_noise_within_tolerance_passes(self):
+        within = 1.0 - DEFAULT_TOLERANCE / 2
+        assert compare_to_baseline(
+            payload(a=row(wall=50.0 * within)), payload(a=row())) == []
+
+    def test_smoke_scale_mismatch_short_circuits(self):
+        # Comparing smoke results against a full-scale baseline is
+        # meaningless; it must fail once, loudly, without piling on
+        # bogus per-scenario rate failures.
+        failures = compare_to_baseline(
+            payload(smoke=True, a=row(sim=1.0, wall=1.0)),
+            payload(smoke=False, a=row(), b=row()))
+        assert len(failures) == 1
+        assert "configuration mismatch" in failures[0]
+
+
+class TestScenarioValidation:
+    def test_unknown_scenario_lists_valid_choices(self):
+        with pytest.raises(ValueError) as err:
+            validate_scenarios(["figure1", "bogus"])
+        assert "bogus" in str(err.value)
+        for name in SCENARIOS:
+            assert name in str(err.value)
+
+    def test_run_matrix_rejects_unknown_only_upfront(self):
+        with pytest.raises(ValueError, match="valid choices"):
+            run_matrix(smoke=True, only=["no-such-scenario"])
+
+    def test_cli_rejects_unknown_scenario_at_argparse_level(self, capsys):
+        with pytest.raises(SystemExit) as err:
+            cli.main(["bench", "--scenario", "bogus"])
+        assert err.value.code == 2
+        stderr = capsys.readouterr().err
+        assert "invalid choice" in stderr and "figure1" in stderr
