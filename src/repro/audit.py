@@ -89,7 +89,10 @@ def _chaos_case(mode: str, seed: int, axes: Tuple[str, ...] = (),
     params = {"seed": seed, "mode": mode, "intensity": 0.5, "n_sites": 4,
               "db_size": 40, "duration": 1.5, "arrival_rate": 60.0}
     params.update(overrides)
-    return AuditCase(case_id=f"chaos:{mode}:{seed}", kind="chaos",
+    # Client-mode storms get their own id namespace so they never
+    # collide with the open-loop case for the same (mode, seed).
+    prefix = "chaos-clients" if params.get("clients") else "chaos"
+    return AuditCase(case_id=f"{prefix}:{mode}:{seed}", kind="chaos",
                      params=params, axes=axes)
 
 
@@ -102,8 +105,10 @@ def _build_cases() -> Dict[str, AuditCase]:
     # modes legitimately diverge there (the equivalence claim is pinned
     # to the deterministic network — see
     # tests/properties/test_batching_equivalence.py).
-    for scenario in ("throughput", "figure1", "figure2_evs", "chaos"):
-        axes = ("batching",) if scenario != "chaos" else ()
+    for scenario in ("throughput", "figure1", "figure2_evs", "chaos",
+                     "client_failover"):
+        axes = ("batching",) if scenario not in ("chaos",
+                                                 "client_failover") else ()
         cases.append(AuditCase(case_id=f"bench:{scenario}", kind="bench",
                                params={"scenario": scenario, "smoke": True},
                                axes=axes))
@@ -116,6 +121,11 @@ def _build_cases() -> Dict[str, AuditCase]:
     # One storm carrying the observability-equivalence axis (PR 3's
     # claim) on top of determinism.
     cases.append(_chaos_case("vs", 7, axes=("obs",), intensity=0.6))
+    # Client-mode storms: the same pinned seeds driven by closed-loop
+    # ClientSession fleets (repro.client) — session timers, failover
+    # site picks and dedup suppression must all replay exactly.
+    for mode, seed in (("evs", 2), ("vs", 23)):
+        cases.append(_chaos_case(mode, seed, clients=6))
     return {case.case_id: case for case in cases}
 
 

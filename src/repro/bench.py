@@ -1,6 +1,6 @@
 """The pinned benchmark matrix behind ``python -m repro bench``.
 
-Four scenarios, fixed seeds and workloads, so successive runs (and CI
+Five scenarios, fixed seeds and workloads, so successive runs (and CI
 runs against a committed baseline) measure the same simulation:
 
 * ``throughput`` — 5 sites, steady 400 txn/s OLTP load, no faults; the
@@ -8,6 +8,9 @@ runs against a committed baseline) measure the same simulation:
 * ``figure1``   — the paper's Figure 1 cascading reconfiguration (VS).
 * ``figure2_evs`` — the same schedule under EVS (Figure 2).
 * ``chaos``     — one pinned seeded fault storm (seed 3).
+* ``client_failover`` — the same storm machinery driven by closed-loop
+  client sessions (repro.client): durable request ids, failover,
+  exactly-once checking; measures the client-visible commit rate.
 
 Each scenario reports wall-clock seconds, simulated seconds, commits,
 and two rate metrics:
@@ -46,7 +49,9 @@ from repro.workload.generator import LoadGenerator, WorkloadConfig
 #: Bump when the result-file layout changes.  2: per-scenario ``metrics``
 #: snapshots (repro.obs.collect_cluster_metrics).  3: per-scenario
 #: ``commits_per_sim_second`` (the deterministic gate metric).
-SCHEMA_VERSION = 3
+#: 4: ``client_failover`` scenario (closed-loop sessions with
+#: exactly-once failover) joins the pinned matrix.
+SCHEMA_VERSION = 4
 
 #: Default regression tolerance for the *wall-clock* --baseline check:
 #: fail when a scenario's commits_per_wall_second drops more than this
@@ -186,13 +191,50 @@ def bench_chaos(smoke: bool = False, batching: bool = True) -> BenchResult:
     )
 
 
-SCENARIOS = ("throughput", "figure1", "figure2_evs", "chaos")
+def bench_client_failover(smoke: bool = False,
+                          batching: bool = True) -> BenchResult:
+    """Closed-loop client sessions riding out a pinned fault storm.
+
+    Same chaos machinery as ``chaos`` but driven by ClientSession
+    objects (repro.client) instead of the open-loop generator: every
+    request carries a durable id, contact-site crashes trigger failover
+    to another ACTIVE site, and the run ends with the exactly-once
+    checker over the full session ledger.  The commit rate here is the
+    *end-to-end* client-visible rate — it prices in response timeouts,
+    backoff and duplicate suppression, which the open-loop scenarios
+    never see.
+    """
+    from repro.faults import ChaosConfig, ChaosEngine
+
+    config = ChaosConfig(seed=23, mode="evs", intensity=0.5, n_sites=4,
+                         db_size=40, duration=1.5 if smoke else 3.0,
+                         arrival_rate=60.0, clients=6, batching=batching)
+    engine = ChaosEngine(config)
+    start = time.perf_counter()
+    report = engine.run()
+    wall = time.perf_counter() - start
+    metrics = report.metrics
+    return _result(
+        "client_failover", report.ok, wall,
+        float(metrics.get("virtual_time", 0.0)),
+        int(metrics.get("commits", 0)),
+        int(metrics.get("events_processed", 0)),
+        int(metrics.get("network_messages", 0)),
+        int(metrics.get("bytes_transferred", 0)),
+        cluster=engine.cluster,
+    )
+
+
+SCENARIOS = ("throughput", "figure1", "figure2_evs", "chaos",
+             "client_failover")
 
 _RUNNERS = {
     "throughput": lambda smoke, batching: bench_throughput(smoke, batching),
     "figure1": lambda smoke, batching: bench_figure("vs", smoke, batching),
     "figure2_evs": lambda smoke, batching: bench_figure("evs", smoke, batching),
     "chaos": lambda smoke, batching: bench_chaos(smoke, batching),
+    "client_failover": lambda smoke, batching: bench_client_failover(
+        smoke, batching),
 }
 
 

@@ -184,7 +184,69 @@ def check_atomicity_durability(history: HistoryRecorder, nodes) -> None:
                     )
 
 
-def run_all_checks(history: HistoryRecorder, nodes) -> None:
+def check_exactly_once(history: HistoryRecorder, sessions) -> None:
+    """Every client request executes at most once system-wide, and a
+    session's verdict matches the global history.
+
+    ``sessions`` is an iterable of :class:`repro.client.ClientSession`.
+    Per logical request ``(client_id, seq)``:
+
+    * at most one distinct gid may commit across all attempts — a second
+      commit means the dedup table failed to suppress a resubmission;
+    * a session that reports COMMITTED must match the gid that actually
+      committed (and one must exist);
+    * a session that reports ABORTED (all attempts settled definitively)
+      must have no commit in the history;
+    * EXHAUSTED (gave up with attempts in doubt) tolerates zero or one
+      commit — the at-most-once half still holds;
+    * a request still PENDING after the drain is itself a liveness
+      violation.
+    """
+    commits: Dict[Tuple[str, int], Set[int]] = {}
+    for event in history.events:
+        request = event.message.request
+        if request is None or event.kind != "commit":
+            continue
+        commits.setdefault(request.key, set()).add(event.gid)
+
+    for key, gids in commits.items():
+        if len(gids) > 1:
+            raise ConsistencyViolation(
+                f"request {key[0]}:{key[1]} committed under "
+                f"{len(gids)} distinct gids {sorted(gids)}: executed more than once"
+            )
+
+    for session in sessions:
+        for record in session.records:
+            key = (record.client_id, record.seq)
+            committed_gids = commits.get(key, set())
+            if record.state.value == "committed":
+                if not committed_gids:
+                    raise ConsistencyViolation(
+                        f"request {key[0]}:{key[1]} reported committed "
+                        f"(gid {record.committed_gid}) but no site committed it"
+                    )
+                if record.committed_gid not in committed_gids:
+                    raise ConsistencyViolation(
+                        f"request {key[0]}:{key[1]} reported gid "
+                        f"{record.committed_gid} but the history committed it "
+                        f"as {sorted(committed_gids)}"
+                    )
+            elif record.state.value == "aborted":
+                if committed_gids:
+                    raise ConsistencyViolation(
+                        f"request {key[0]}:{key[1]} reported a definitive "
+                        f"abort but committed as gid {sorted(committed_gids)}"
+                    )
+            elif record.state.value == "pending":
+                raise ConsistencyViolation(
+                    f"request {key[0]}:{key[1]} still pending after drain"
+                )
+            # EXHAUSTED: zero or one commit both legal; the multi-commit
+            # case was already rejected above.
+
+
+def run_all_checks(history: HistoryRecorder, nodes, sessions=None) -> None:
     """Run the full checker battery (used by tests and examples)."""
     check_gid_consistency(history)
     check_processing_order(history)
@@ -193,3 +255,5 @@ def run_all_checks(history: HistoryRecorder, nodes) -> None:
     check_view_synchrony(nodes)
     check_convergence(nodes)
     check_atomicity_durability(history, nodes)
+    if sessions is not None:
+        check_exactly_once(history, sessions)

@@ -199,6 +199,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed, intensity=args.intensity, n_sites=args.sites,
         db_size=args.db_size, duration=args.duration, mode=args.mode,
         strategy=args.strategy, arrival_rate=args.rate, observe=observe,
+        clients=args.clients, sabotage_dedup=args.sabotage_dedup,
     )
     report = ChaosEngine(config).run()
     if args.timeline and report.tracer is not None:
@@ -208,6 +209,14 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"{time:8.3f}  chaos  {action:14s} {detail}")
     print()
     print(report.summary())
+    if config.clients:
+        m = report.metrics
+        print(f"clients: {m.get('client.requests', 0):.0f} requests, "
+              f"{m.get('client.committed', 0):.0f} committed, "
+              f"{m.get('client.aborted', 0):.0f} aborted, "
+              f"{m.get('client.exhausted', 0):.0f} exhausted, "
+              f"{m.get('client.failovers', 0):.0f} failovers, "
+              f"{m.get('dedup.suppressed', 0):.0f} duplicates suppressed")
     if report.obs is not None:
         # Explicitly requested dumps — and, on an invariant failure, the
         # full evidence regardless of which flag was passed.
@@ -242,6 +251,7 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
         seeds, jobs=args.jobs, intensity=args.intensity, n_sites=args.sites,
         db_size=args.db_size, duration=args.duration, mode=args.mode,
         strategy=args.strategy, arrival_rate=args.rate,
+        clients=args.clients, sabotage_dedup=args.sabotage_dedup,
     )
     wall = time.perf_counter() - start
     header = (f"{'seed':>6s} {'verdict':8s} {'faults':>7s} {'commits':>8s} "
@@ -445,6 +455,15 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None, metavar="PATH",
                        help="attach observability and write a Prometheus-style "
                             "metrics dump (default PATH: %(const)s)")
+    chaos.add_argument("--clients", type=int, default=0,
+                       help="drive the storm with N closed-loop client "
+                            "sessions (failover + exactly-once checking) "
+                            "instead of the open-loop generator")
+    chaos.add_argument("--sabotage-dedup", action="store_true",
+                       help="disable the replicated dedup table at every "
+                            "site; a client-mode run is then EXPECTED to "
+                            "fail the exactly-once check (checker "
+                            "self-test)")
     chaos.add_argument("--seeds", default=None, metavar="SPEC",
                        help="run a whole seed fleet instead of one storm: "
                             "'0..15', '1,2,5' or a mix; results are merged "

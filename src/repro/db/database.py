@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.db.locks import LockManager
+from repro.db.outcomes import OutcomeTable
 from repro.db.recovery import RecoveryResult, compute_cover, run_single_site_recovery
 from repro.db.rectable import RecTable
 from repro.db.store import INITIAL_VERSION, ObjectStore
@@ -34,6 +35,13 @@ from repro.db.wal import (
 )
 
 
+def _request_tuple(request):
+    """Wire/log shape of a request id (``None`` passes through)."""
+    if request is None:
+        return None
+    return (request.client_id, request.seq, request.attempt)
+
+
 class Database:
     """Volatile database instance bound to a crash-surviving storage."""
 
@@ -43,6 +51,9 @@ class Database:
         self.locks = LockManager(clock, partition_fn=partition_fn)
         self.partition_fn = partition_fn
         self.rectable = RecTable()
+        #: Replicated exactly-once table of settled client-request
+        #: outcomes (updated deterministically at delivery-decision time).
+        self.outcomes = OutcomeTable()
         self._tagged_version: Dict[str, int] = {}
         self._uncommitted_writes: Dict[int, List[Tuple[str, Any, int]]] = {}
         self._snapshots: Dict[int, Dict[str, Tuple[Any, int]]] = {}
@@ -72,6 +83,7 @@ class Database:
         result = run_single_site_recovery(storage)
         db = cls(storage, clock, partition_fn=partition_fn)
         db.store = result.store
+        db.outcomes = result.outcomes
         db.baseline_gid = result.cover_gid
         # Rebuild the RecTable so a recovered site can act as peer later.
         # The recovered store's version tags *are* the last committed
@@ -145,23 +157,23 @@ class Database:
                 saved[obj] = (before_value, before_version)
         self.store.write(obj, value, gid)
 
-    def commit(self, gid: int) -> None:
+    def commit(self, gid: int, request=None) -> None:
         # Commit is the WAL force point: the commit record and every
         # record before it must survive a crash (write-ahead rule), so a
         # torn tail can only ever lose begin/write records of in-flight
         # transactions — work that never externally took effect.
-        self.storage.append(CommitRecord(gid))
+        self.storage.append(CommitRecord(gid, _request_tuple(request)))
         self.storage.flush()
         for obj, _, _ in self._uncommitted_writes.pop(gid, ()):
             self.rectable.register(obj, gid)
         self._unterminated.discard(gid)
         self.commits += 1
 
-    def abort(self, gid: int) -> None:
+    def abort(self, gid: int, request=None) -> None:
         """Undo any installed writes and terminate the transaction."""
         for obj, before_value, before_version in reversed(self._uncommitted_writes.pop(gid, [])):
             self.store.write(obj, before_value, before_version)
-        self.storage.append(AbortRecord(gid))
+        self.storage.append(AbortRecord(gid, _request_tuple(request)))
         self.storage.flush()
         self._unterminated.discard(gid)
         self.aborts += 1
@@ -207,6 +219,7 @@ class Database:
             for obj, before_value, before_version in writes:
                 image[obj] = (before_value, before_version)
         self.storage.checkpoint(image)
+        self.storage.outcome_image = self.outcomes.rows()
         self.storage.flush()
         if truncate_log:
             self.storage.truncate_through(self.cover_gid())
@@ -360,5 +373,9 @@ class Database:
                 undone += 1
         for gid in sorted(phantom):
             self.storage.append(ReconcileRecord(gid))
+        # Outcomes decided at phantom gids never settled in the primary
+        # lineage; the client will retry and the primary's decision (at a
+        # different gid) must win.
+        self.outcomes.expunge_gids(phantom)
         self.storage.flush()
         return undone

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set, Tuple
 
+from repro.db.outcomes import OutcomeTable
 from repro.db.store import ObjectStore
 from repro.db.wal import (
     AbortRecord,
@@ -51,6 +52,9 @@ class RecoveryResult:
     tail_torn: bool = False
     #: Records dropped because they sat at/after the first corrupt one.
     corrupt_records: int = 0
+    #: Exactly-once outcome table rebuilt from the checkpointed snapshot
+    #: plus surviving commit/abort records that carried request ids.
+    outcomes: OutcomeTable = field(default_factory=OutcomeTable)
 
 
 def compute_cover(
@@ -85,6 +89,8 @@ def run_single_site_recovery(storage: PersistentStorage) -> RecoveryResult:
     terminated: Set[int] = set()
     committed: Set[int] = set()
     writes_by_gid: Dict[int, List[WriteRecord]] = {}
+    outcomes = OutcomeTable()
+    outcomes.merge(getattr(storage, "outcome_image", ()))
 
     for record in records:
         if isinstance(record, BaselineRecord):
@@ -99,11 +105,18 @@ def run_single_site_recovery(storage: PersistentStorage) -> RecoveryResult:
         elif isinstance(record, CommitRecord):
             terminated.add(record.gid)
             committed.add(record.gid)
+            if record.request is not None:
+                client_id, seq, attempt = record.request
+                outcomes.merge(((client_id, seq, attempt, record.gid, True),))
         elif isinstance(record, AbortRecord):
             terminated.add(record.gid)
+            if record.request is not None:
+                client_id, seq, attempt = record.request
+                outcomes.merge(((client_id, seq, attempt, record.gid, False),))
         elif isinstance(record, ReconcileRecord):
             terminated.add(record.gid)
             committed.discard(record.gid)
+            outcomes.expunge_gids((record.gid,))
 
     store = ObjectStore()
     store.load_snapshot(storage.checkpoint_image)
@@ -130,6 +143,7 @@ def run_single_site_recovery(storage: PersistentStorage) -> RecoveryResult:
         committed_gids=committed,
         tail_torn=tail_torn,
         corrupt_records=corrupt_records,
+        outcomes=outcomes,
     )
 
 

@@ -60,11 +60,18 @@ class WriteRecord:
 @dataclass(frozen=True)
 class CommitRecord:
     gid: int
+    #: ``(client_id, seq, attempt)`` of the client request this commit
+    #: settles, or ``None`` for anonymous transactions.  Logged so single
+    #: site recovery can rebuild the exactly-once outcome table.
+    request: Optional[Tuple[str, int, int]] = None
 
 
 @dataclass(frozen=True)
 class AbortRecord:
     gid: int
+    #: See :class:`CommitRecord`; aborted attempts are also settled
+    #: outcomes (a stale duplicate must not commit later).
+    request: Optional[Tuple[str, int, int]] = None
 
 
 @dataclass(frozen=True)
@@ -112,6 +119,10 @@ class PersistentStorage:
         #: never be lost or torn by a crash.
         self.durable_length = 0
         self.checkpoint_image: Dict[str, Tuple[Any, int]] = {}
+        #: Exactly-once outcome rows flushed with each checkpoint, so
+        #: entries whose commit/abort records were truncated from the log
+        #: still survive a crash.
+        self.outcome_image: Tuple[Tuple[str, int, int, int, bool], ...] = ()
         self.flushes = 0
         #: Total records ever appended (monotone; unlike ``len(log)`` it
         #: is not reduced by checkpoint truncation or torn tails).

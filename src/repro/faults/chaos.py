@@ -63,6 +63,14 @@ class ChaosConfig:
     enable_loss_bursts: bool = True
     min_alive: int = 1
     quiesce_timeout: float = 60.0
+    #: Number of closed-loop client sessions (repro.client).  0 keeps the
+    #: classic open-loop LoadGenerator; > 0 drives the run through
+    #: ClientSession objects with failover + exactly-once checking.
+    clients: int = 0
+    #: Sabotage hook: disable the replicated dedup table at every site.
+    #: Used by tests/CI to prove check_exactly_once actually catches
+    #: double execution — a sabotaged run is expected to FAIL.
+    sabotage_dedup: bool = False
     #: Hot-path batching (sequencer, network, bulk writes).  Off gives
     #: the pre-batching event schedule; histories and final states are
     #: identical either way (see tests/properties/test_batching_equivalence).
@@ -86,6 +94,10 @@ class ChaosConfig:
             raise ValueError("min_alive must be in [0, n_sites]")
         if self.quiesce_timeout <= 0:
             raise ValueError("quiesce_timeout must be positive")
+        if self.clients < 0:
+            raise ValueError("clients must be non-negative")
+        if self.sabotage_dedup and self.clients == 0:
+            raise ValueError("sabotage_dedup only makes sense with clients > 0")
 
 
 @dataclass
@@ -171,22 +183,38 @@ class ChaosEngine:
     def run(self) -> ChaosReport:
         config = self.config
         cluster = self._build()
-        load = LoadGenerator(
-            cluster,
-            WorkloadConfig(arrival_rate=config.arrival_rate,
-                           reads_per_txn=1, writes_per_txn=2),
-        )
+        if config.sabotage_dedup:
+            for node in cluster.nodes.values():
+                node.dedup_disabled = True
+        workload = WorkloadConfig(arrival_rate=config.arrival_rate,
+                                  reads_per_txn=1, writes_per_txn=2)
+        load: Optional[LoadGenerator] = None
+        fleet = None
+        if config.clients > 0:
+            from repro.client import ClientFleet
+
+            fleet = ClientFleet(cluster, config.clients, workload)
+        else:
+            load = LoadGenerator(cluster, workload)
+        driver = fleet if fleet is not None else load
         if not cluster.await_all_active(timeout=15):
             self.report.error = "bootstrap failed"
-            return self._finish(load)
-        load.start()
+            return self._finish(load, fleet)
+        driver.start()
         self._storming = True
         self._schedule_next_event()
         cluster.run_for(config.duration)
         self._storming = False
-        load.stop()
+        driver.stop()
         self._quiesce()
-        return self._finish(load)
+        if fleet is not None:
+            # Sessions drive their own retries; give every in-flight
+            # request time to reach a terminal state on the healed
+            # cluster before judging exactly-once.
+            if not cluster.await_condition(fleet.drained,
+                                           timeout=config.quiesce_timeout):
+                self.report.error = "client drain timeout"
+        return self._finish(load, fleet)
 
     # ------------------------------------------------------------------
     def _build(self) -> Cluster:
@@ -391,14 +419,24 @@ class ChaosEngine:
         cluster.await_all_active(timeout=self.config.quiesce_timeout)
         cluster.settle(1.0)
 
-    def _finish(self, load: LoadGenerator) -> ChaosReport:
+    def _finish(self, load: Optional[LoadGenerator],
+                fleet=None) -> ChaosReport:
         cluster, report = self.cluster, self.report
         if self._storage_faults is not None:
             report.wal_tears = self._storage_faults.tears
             report.wal_corruptions = self._storage_faults.corruptions
         report.metrics = cluster.metrics_summary()
-        report.metrics["workload_commits"] = len(load.committed())
-        report.metrics["workload_aborts"] = len(load.aborted())
+        if load is not None:
+            report.metrics["workload_commits"] = len(load.committed())
+            report.metrics["workload_aborts"] = len(load.aborted())
+            report.metrics.update(load.metrics())
+        if fleet is not None:
+            report.metrics["workload_commits"] = len(fleet.committed())
+            report.metrics["workload_aborts"] = len(fleet.aborted())
+            report.metrics.update(fleet.metrics())
+            report.metrics["dedup.suppressed"] = sum(
+                node.duplicates_suppressed for node in cluster.nodes.values()
+            )
         report.metrics["events_processed"] = cluster.sim.events_processed
         if report.error is not None:
             return report
@@ -413,7 +451,8 @@ class ChaosEngine:
             )
             return report
         try:
-            run_all_checks(cluster.history, list(cluster.nodes.values()))
+            run_all_checks(cluster.history, list(cluster.nodes.values()),
+                           sessions=fleet.sessions if fleet is not None else None)
         except ConsistencyViolation as violation:
             report.error = f"invariant violated: {violation}"
             return report

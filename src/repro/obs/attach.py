@@ -69,6 +69,7 @@ def collect_cluster_metrics(cluster) -> Dict[str, float]:
     lock_wait_total = 0.0
     wal_records = wal_flushes = wal_torn = wal_corrupt = 0
     node_commits = node_local_aborts = 0
+    dedup_suppressed = outcome_entries = 0
     to_batches = gcs_delivered = views = 0
     xfer = {
         "started": 0, "completed": 0, "objects_sent": 0, "bytes_sent": 0,
@@ -89,6 +90,8 @@ def collect_cluster_metrics(cluster) -> Dict[str, float]:
         wal_corrupt += storage.corrupt_records
         node_commits += node.commits
         node_local_aborts += node.local_aborts
+        dedup_suppressed += node.duplicates_suppressed
+        outcome_entries = max(outcome_entries, len(node.db.outcomes))
         member = node.member
         views = max(views, len(member.views_installed))
         gcs_delivered += member.messages_delivered
@@ -118,6 +121,8 @@ def collect_cluster_metrics(cluster) -> Dict[str, float]:
         "wal.corrupt_records": wal_corrupt,
         "txn.site_commits": node_commits,
         "txn.local_aborts": node_local_aborts,
+        "client.duplicates_suppressed": dedup_suppressed,
+        "client.outcome_entries": outcome_entries,
         "gcs.views_installed": views,
         "gcs.messages_delivered": gcs_delivered,
         "to.batches_sent": to_batches,
@@ -305,8 +310,8 @@ def _instrument_node(node, tracer, to_instruments, lock_instruments,
     # Transaction lifecycle -> tracer events (span sources) --------------
     original_submit = node.submit
 
-    def observed_submit(reads, writes):
-        txn = original_submit(reads, writes)
+    def observed_submit(reads, writes, *args, **kwargs):
+        txn = original_submit(reads, writes, *args, **kwargs)
         tracer.emit(site, "txn", "submit", data={"txn": txn.txn_id})
         return txn
 

@@ -214,6 +214,12 @@ class BaseReconfigManager:
             return  # duplicate delivery: baseline already installed
         session.on_complete(msg)
         db = self.node.db
+        # Adopt the peer's settled client-request outcomes through the
+        # baseline.  A *replace* (not a merge): an up-to-date peer's table
+        # is complete, and any local entry it lacks was decided outside
+        # the new primary lineage (a phantom or a rolled-back in-flight
+        # delivery) and must not survive the rejoin.
+        db.outcomes.reset_to(msg.outcomes)
         # Persist the transferred state before moving the baseline, so a
         # crash right after recovers to a consistent (state, cover) pair.
         db.checkpoint()
@@ -254,18 +260,34 @@ class BaseReconfigManager:
         if generation is not None and generation != self._join_generation:
             return  # stale step from before a join restart
         db = self.node.db
+        node = self.node
+        # Same exactly-once dedup as the live delivery path: the replayed
+        # stream must reach the identical decisions the ACTIVE sites made
+        # for these gids, including the suppressions.
+        if message.request is not None and not node.dedup_disabled:
+            if db.outcomes.is_duplicate(message.request):
+                db.log_noop(gid)
+                node.last_processed_gid = gid
+                node.duplicates_suppressed += 1
+                self.replayed_transactions += 1
+                self._replay_next()
+                return
         db.log_begin(gid)
-        self.node.last_processed_gid = gid
+        node.last_processed_gid = gid
         if not db.version_check(message.reads()):
-            db.abort(gid)
-            self.node._emit("abort", gid, message)
+            if message.request is not None:
+                db.outcomes.record(message.request, gid, False)
+            db.abort(gid, message.request)
+            node._emit("abort", gid, message)
         else:
+            if message.request is not None:
+                db.outcomes.record(message.request, gid, True)
             writes = message.writes()
             db.tag_writes(gid, writes.keys())
             for obj, value in sorted(writes.items()):
                 db.apply_write(gid, obj, value)
-            db.commit(gid)
-            self.node._emit("commit", gid, message)
+            db.commit(gid, message.request)
+            node._emit("commit", gid, message)
         self.replayed_transactions += 1
         self._replay_next()
 
@@ -541,6 +563,7 @@ class BaseReconfigManager:
             cover_gid=cover,
             last_delivered_gid=self.node.last_processed_gid,
             committed_above_cover=db.committed_writes_above(cover),
+            outcomes=db.outcomes.rows(),
         )
         self.node._multicast(report)
 
@@ -569,6 +592,10 @@ class BaseReconfigManager:
             for obj, value in sorted(merged[gid].items()):
                 db.store.write(obj, value, gid)
             applied_max = gid
+        # Complete the outcome table the same way: every settled client
+        # request known to any surviving log is settled system-wide.
+        for rep in reports.values():
+            db.outcomes.merge(rep.outcomes)
         db.checkpoint()
         db.set_baseline(max(applied_max, my_cover))
         self._creation_reports = {}

@@ -177,6 +177,11 @@ class TransferComplete:
     #: not install the baseline before it has applied batches through
     #: this seq (0 = unknown, accept immediately).
     final_seq: int = 0
+    #: Exactly-once outcome table rows whose deciding gid is at or below
+    #: ``baseline_gid`` (``(client_id, seq, attempt, gid, committed)``).
+    #: Outcomes above the baseline are excluded on purpose: the joiner
+    #: replays those gids itself and must reach the same decisions.
+    outcomes: Tuple[Tuple[str, int, int, int, bool], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -543,7 +548,9 @@ class PeerTransferSession:
             "complete",
             TransferComplete(session_id=self.session_id,
                              baseline_gid=self._finished_baseline,
-                             final_seq=self._batch_seq),
+                             final_seq=self._batch_seq,
+                             outcomes=self.db.outcomes.snapshot_through(
+                                 self._finished_baseline)),
         )
 
     def cancel(self) -> None:

@@ -3,7 +3,30 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RequestId:
+    """Durable identity of one logical client request.
+
+    ``(client_id, seq)`` names the request for its whole life; ``attempt``
+    distinguishes resubmissions of the *same* request after a failover or
+    a definitive abort.  The replicated outcome table is keyed by
+    ``(client_id, seq)`` only — two attempts of one request must never
+    both commit.
+    """
+
+    client_id: str
+    seq: int
+    attempt: int = 0
+
+    @property
+    def key(self) -> Tuple[str, int]:
+        return (self.client_id, self.seq)
+
+    def __repr__(self) -> str:
+        return f"<Req {self.client_id}:{self.seq}#{self.attempt}>"
 
 
 @dataclass(frozen=True)
@@ -25,6 +48,11 @@ class TransactionMessage:
     #: (the paper's section 2.2 default) reads locally before sending
     #: and ships versions in ``read_set`` instead.
     deferred_reads: Tuple[str, ...] = ()
+    #: Client-session requests carry their durable id so every site can
+    #: run the exactly-once dedup check at delivery time.  ``None`` for
+    #: anonymous (non-session) transactions, which keep at-most-once
+    #: semantics only.
+    request: Optional[RequestId] = None
 
     def reads(self) -> Dict[str, int]:
         # Memoized: every site of the view calls this on the *same*
@@ -82,3 +110,7 @@ class CreationReport:
     cover_gid: int
     last_delivered_gid: int
     committed_above_cover: Tuple[Tuple[int, Tuple[Tuple[str, Any], ...]], ...]
+    #: Settled client-request outcomes known to this site, as
+    #: ``(client_id, seq, attempt, gid, committed)`` rows, so the elected
+    #: creation source also completes the exactly-once outcome table.
+    outcomes: Tuple[Tuple[str, int, int, int, bool], ...] = ()

@@ -249,6 +249,12 @@ class ReplicatedDatabaseNode:
         self.on_txn_event: Optional[Callable[[str, str, int, Any], None]] = None
         self.commits = 0
         self.local_aborts = 0
+        #: Deliveries suppressed by the exactly-once outcome table.
+        self.duplicates_suppressed = 0
+        #: Sabotage hook (chaos --sabotage-dedup): skip the dedup check so
+        #: resubmitted requests re-execute — check_exactly_once must catch
+        #: the resulting double commits, proving it non-vacuous.
+        self.dedup_disabled = False
         self.enqueue_high_watermark = 0
         self.last_processed_gid = -1
 
@@ -346,8 +352,13 @@ class ReplicatedDatabaseNode:
     # ------------------------------------------------------------------
     # Client API
     # ------------------------------------------------------------------
-    def submit(self, reads: List[str], writes: Dict[str, Any]) -> Transaction:
+    def submit(self, reads: List[str], writes: Dict[str, Any],
+               request=None, on_done=None) -> Transaction:
         """Submit a transaction at this site (phases I and II).
+
+        ``request`` tags the transaction with a client session's durable
+        :class:`~repro.replication.messages.RequestId` (exactly-once
+        dedup); ``on_done`` is invoked once when the attempt terminates.
 
         Raises RuntimeError when the site cannot currently process
         transactions (not an up-to-date member of the primary component).
@@ -361,6 +372,8 @@ class ReplicatedDatabaseNode:
             reads=list(reads),
             writes=dict(writes),
             submitted_at=self.sim.now,
+            request=request,
+            on_done=on_done,
         )
         self._local_txns[txn.txn_id] = txn
         if self.config.protocol == "conservative":
@@ -400,6 +413,7 @@ class ReplicatedDatabaseNode:
             read_set=tuple(sorted(txn.read_set.items())),
             write_set=tuple(sorted(txn.writes.items())),
             deferred_reads=deferred_reads,
+            request=txn.request,
         )
         self._multicast(message)
 
@@ -643,6 +657,15 @@ class ReplicatedDatabaseNode:
     # ------------------------------------------------------------------
     def process_delivered(self, gid: int, message: TransactionMessage) -> None:
         """Phase III, executed atomically at delivery."""
+        # Exactly-once dedup (before any execution): a request whose
+        # outcome is already settled in the replicated table is answered
+        # from the table, never re-executed.  The check is a
+        # deterministic function of the gid prefix, so every site
+        # suppresses (or executes) the same deliveries.
+        if message.request is not None and not self.dedup_disabled:
+            if self.db.outcomes.is_duplicate(message.request):
+                self._suppress_duplicate(gid, message)
+                return
         self.db.log_begin(gid)
         self.last_processed_gid = gid
         delivered = DeliveredTxn(gid=gid, message=message)
@@ -650,7 +673,9 @@ class ReplicatedDatabaseNode:
 
         # III.2 version check.
         if not self.db.version_check(message.reads()):
-            self.db.abort(gid)
+            if message.request is not None:
+                self.db.outcomes.record(message.request, gid, False)
+            self.db.abort(gid, message.request)
             del self._delivered[gid]
             self._emit("abort", gid, message)
             if message.origin == self.site_id:
@@ -660,6 +685,13 @@ class ReplicatedDatabaseNode:
                     self._finish_local(txn, TxnState.ABORTED, AbortReason.VERSION_CHECK)
             self._check_quiescence()
             return
+
+        # The version check passed: the commit decision for this gid is
+        # now settled system-wide (the write phase only installs it), so
+        # the outcome is recorded immediately — a duplicate delivered in
+        # the very next slot must already see it.
+        if message.request is not None:
+            self.db.outcomes.record(message.request, gid, True)
 
         writes = message.writes()
         owner = message.local_id  # globally unique: "<origin>#<seq>"
@@ -723,6 +755,55 @@ class ReplicatedDatabaseNode:
                     LockMode.EXCLUSIVE,
                     self._make_write_grant_handler(gid, obj, value),
                 )
+
+    def _suppress_duplicate(self, gid: int, message: TransactionMessage) -> None:
+        """Answer a resubmitted request from the outcome table.
+
+        The gid is consumed as a no-op (cover continuity) and no history
+        events are emitted — every site suppresses the same delivery, so
+        the gid uniformly has no transaction.  If this site originated
+        the resubmission, its local attempt is resolved with the settled
+        outcome: the client sees the original commit, or a DUPLICATE
+        abort when it already gave up on a newer attempt.
+        """
+        self.db.log_noop(gid)
+        self.last_processed_gid = gid
+        self.duplicates_suppressed += 1
+        self.trace("client", "duplicate_suppressed",
+                   f"gid={gid} request={message.request}")
+        if message.origin == self.site_id:
+            # Resolve the local attempt with the same latency a real
+            # commit has (one write phase), never synchronously at
+            # delivery: a suppression processed inside a view-change
+            # flush may be tentative, and answering the client from a
+            # tentative entry is irreversible.  The delay gives a
+            # concurrent stall/demotion/crash the chance to abort the
+            # attempt first (SITE_LEFT_PRIMARY / SITE_CRASHED — the
+            # client then resolves it through a safe resubmission),
+            # exactly as it preempts an in-flight tentative write phase.
+            self.proc.after(self.config.write_op_time,
+                            self._resolve_suppressed, gid, message)
+        self._check_quiescence()
+        if self.reconfig is not None:
+            self.reconfig.on_transaction_terminated(gid)
+
+    def _resolve_suppressed(self, gid: int, message: TransactionMessage) -> None:
+        """Answer the origin's local attempt from the outcome table, one
+        write-phase after the suppression (see :meth:`_suppress_duplicate`)."""
+        txn = self._local_txns.get(message.local_id)
+        if txn is not None and not txn.done:
+            entry = self.db.outcomes.lookup(message.request)
+            if entry is not None and entry[2]:
+                txn.gid = entry[1]
+                self._finish_local(txn, TxnState.COMMITTED, None)
+            else:
+                txn.gid = gid
+                self._finish_local(txn, TxnState.ABORTED, AbortReason.DUPLICATE)
+        # No write phase ever runs under this local_id, so the read locks
+        # from the attempt's local read phase must be dropped explicitly —
+        # a commit-from-table would otherwise leave shared locks behind
+        # that block every later writer at this site only.
+        self.db.locks.cancel(message.local_id)
 
     def _make_write_grant_handler(self, gid: int, obj: str, value: Any):
         def on_grant(_request) -> None:
@@ -813,7 +894,7 @@ class ReplicatedDatabaseNode:
         if delivered is None:
             return
         message = delivered.message
-        self.db.commit(gid)
+        self.db.commit(gid, message.request)
         self.db.locks.release(message.local_id)
         self.commits += 1
         self._emit("commit", gid, message)
@@ -857,6 +938,12 @@ class ReplicatedDatabaseNode:
         delivered.rolled_back = True
         self.db.rollback(gid)
         self.db.locks.cancel(delivered.message.local_id)
+        if delivered.message.request is not None:
+            # The tentative outcome recorded at delivery never settled:
+            # drop it, or it would leak into transfer snapshots and
+            # creation reports and suppress the request's legitimate
+            # resubmission in the surviving lineage.
+            self.db.outcomes.expunge_gids((gid,))
 
     # ------------------------------------------------------------------
     # Local transaction termination
@@ -873,6 +960,11 @@ class ReplicatedDatabaseNode:
         if state is TxnState.ABORTED:
             self.db.locks.cancel(txn.txn_id)
             self.local_aborts += 1
+        if txn.on_done is not None:
+            # Session callback; fired exactly once (guarded by txn.done
+            # above).  Sessions only schedule follow-up work on the sim
+            # clock here, they never re-enter the node synchronously.
+            txn.on_done(txn)
 
     # ------------------------------------------------------------------
     # Quiescence support for the transfer strategies

@@ -27,6 +27,10 @@ class AbortReason(enum.Enum):
     LOCAL_READER_CONFLICT = "local_reader_conflict"
     SITE_LEFT_PRIMARY = "site_left_primary"
     SITE_CRASHED = "site_crashed"
+    #: The delivered message was a duplicate of a request whose outcome
+    #: was already settled in the replicated outcome table; it was never
+    #: re-executed.  Client sessions treat this as "ask the table".
+    DUPLICATE = "duplicate"
 
 
 @dataclass
@@ -52,6 +56,11 @@ class Transaction:
     sent_at: Optional[float] = None
     finished_at: Optional[float] = None
     abort_reason: Optional[AbortReason] = None
+    #: Durable request id when a client session owns this attempt.
+    request: Optional[Any] = None
+    #: Session callback fired exactly once when the attempt terminates
+    #: at the origin site (commit, abort, or duplicate suppression).
+    on_done: Optional[Any] = None
 
     @property
     def committed(self) -> bool:

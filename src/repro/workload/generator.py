@@ -68,6 +68,14 @@ class LoadGenerator:
         self.transactions: List[Transaction] = []
         self.skipped = 0  # ticks with no active site to submit to
         self.retries = 0
+        #: Aborts whose write-set may still have been sequenced when the
+        #: contact site died (SITE_CRASHED/SITE_LEFT_PRIMARY after send):
+        #: the open-loop generator cannot resolve them — only a client
+        #: session with a durable request id can (repro.client).
+        self.in_doubt = 0
+        #: Aborts where the contact site died before the write-set was
+        #: ever multicast: provably never executed anywhere.
+        self.lost_to_crash = 0
         self._running = False
         self._objects = sorted(cluster.initial_db)
         self._value_counter = 0
@@ -110,7 +118,17 @@ class LoadGenerator:
                 continue
             if txn.abort_reason in (AbortReason.SITE_CRASHED,
                                     AbortReason.SITE_LEFT_PRIMARY):
-                continue  # the site is gone; a real client would fail over
+                # The site is gone.  Resubmitting blindly could execute
+                # the transaction twice (the original may have been
+                # sequenced before the crash), so the open-loop generator
+                # must drop it — but count the loss instead of hiding it.
+                # Failing over safely needs a durable request id; that is
+                # what repro.client sessions provide.
+                if txn.sent_at is not None:
+                    self.in_doubt += 1
+                else:
+                    self.lost_to_crash += 1
+                continue
             attempts = self._attempts.get(txn.txn_id, 1)
             if attempts > self.config.max_retries:
                 continue
@@ -182,3 +200,30 @@ class LoadGenerator:
 
     def latencies(self) -> List[float]:
         return [t.latency for t in self.committed() if t.latency is not None]
+
+    def metrics(self) -> Dict[str, float]:
+        """Workload-side counters, including the formerly silent losses.
+
+        Recomputes ``in_doubt`` / ``lost_to_crash`` over the full
+        transaction list so the numbers are accurate even when
+        ``retry_aborted`` is off (the retry scan never runs then).
+        """
+        from repro.replication.transaction import AbortReason
+
+        in_doubt = 0
+        lost = 0
+        for txn in self.transactions:
+            if txn.aborted and txn.abort_reason in (
+                    AbortReason.SITE_CRASHED, AbortReason.SITE_LEFT_PRIMARY):
+                if txn.sent_at is not None:
+                    in_doubt += 1
+                else:
+                    lost += 1
+        self.in_doubt = in_doubt
+        self.lost_to_crash = lost
+        return {
+            "workload.in_doubt": float(in_doubt),
+            "workload.lost_to_crash": float(lost),
+            "workload.skipped": float(self.skipped),
+            "workload.retries": float(self.retries),
+        }
