@@ -126,6 +126,14 @@ def _build_cases() -> Dict[str, AuditCase]:
     # site picks and dedup suppression must all replay exactly.
     for mode, seed in (("evs", 2), ("vs", 23)):
         cases.append(_chaos_case(mode, seed, clients=6))
+    # Endurance churn runs: the composed long-horizon schedule (rolling
+    # restarts, partition storms, join/leave churn, stabilization) must
+    # replay byte-for-byte too, including its availability timeline.
+    for mode, seed in (("vs", 0), ("evs", 0)):
+        cases.append(AuditCase(case_id=f"endurance:{mode}:{seed}",
+                               kind="endurance",
+                               params={"seed": seed, "mode": mode,
+                                       "duration": 6.0}))
     return {case.case_id: case for case in cases}
 
 
@@ -236,6 +244,20 @@ def execute_variant(case_id: str, variant: str,
         if variant == "obs":
             params["observe"] = True
         engine = ChaosEngine(ChaosConfig(**params))
+        report = engine.run()
+        schedule = [f"{time:.6f} {action} {detail}"
+                    for time, action, detail in report.events]
+        return _collect(engine.cluster, tracer=report.tracer,
+                        schedule=schedule, ok=report.ok, materials=materials)
+    if case.kind == "endurance":
+        from repro.endurance import EnduranceConfig, EnduranceEngine
+
+        params = _sabotaged(dict(case.params), variant)
+        if variant == "no_batching":
+            params["batching"] = False
+        if variant == "obs":
+            params["observe"] = True
+        engine = EnduranceEngine(EnduranceConfig(**params))
         report = engine.run()
         schedule = [f"{time:.6f} {action} {detail}"
                     for time, action, detail in report.events]

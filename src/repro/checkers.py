@@ -246,6 +246,38 @@ def check_exactly_once(history: HistoryRecorder, sessions) -> None:
             # case was already rejected above.
 
 
+def check_availability_floor(samples, window: float, bin_width: float,
+                             warmup: float = 0.0) -> None:
+    """The system never stops serving clients for a whole window.
+
+    ``samples`` is the availability timeline of an endurance run: an
+    iterable of ``(time, commits, maintenance)`` bins, where ``time`` is
+    the virtual end of the bin, ``commits`` the client requests committed
+    during it, and ``maintenance`` flags bins in which the harness itself
+    paused the fleet (quiescent sweeps) — those are excluded, as is a
+    ``warmup`` prefix while the cluster bootstraps.
+
+    A consecutive run of zero-commit, non-maintenance bins spanning at
+    least ``window`` virtual seconds is an availability-floor violation:
+    the cluster went dark under churn instead of riding it out.
+    """
+    if window <= 0 or bin_width <= 0:
+        raise ValueError("window and bin_width must be positive")
+    gap_start = None
+    for time, commits, maintenance in samples:
+        if time <= warmup or maintenance or commits > 0:
+            gap_start = None
+            continue
+        if gap_start is None:
+            gap_start = time - bin_width
+        if time - gap_start >= window:
+            raise ConsistencyViolation(
+                f"availability floor violated: no client commit from "
+                f"t={gap_start:.3f} to t={time:.3f} "
+                f"({time - gap_start:.3f}s >= window {window:g}s)"
+            )
+
+
 def run_all_checks(history: HistoryRecorder, nodes, sessions=None) -> None:
     """Run the full checker battery (used by tests and examples)."""
     check_gid_consistency(history)

@@ -9,6 +9,8 @@ Usage::
     python -m repro trace --mode evs             # recovery with a timeline
     python -m repro chaos --seed 3 --intensity 0.5   # randomized fault storm
     python -m repro chaos --seeds 0..15 --jobs 4     # parallel seed fleet
+    python -m repro chaos --endurance --seed 0       # long-horizon churn run
+    python -m repro chaos --endurance --seeds 0..3 --jobs 4   # endurance fleet
     python -m repro bench --jobs 4                   # pinned benchmark matrix
     python -m repro sweep --study db_size --jobs 4   # parameter-study grid
     python -m repro audit --jobs 4                   # determinism audit
@@ -192,12 +194,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import ChaosConfig, ChaosEngine
 
+    if args.endurance:
+        return _cmd_endurance(args)
     if args.seeds is not None:
         return _cmd_chaos_fleet(args)
     observe = args.trace is not None or args.metrics is not None
     config = ChaosConfig(
         seed=args.seed, intensity=args.intensity, n_sites=args.sites,
-        db_size=args.db_size, duration=args.duration, mode=args.mode,
+        db_size=args.db_size, duration=args.duration or 3.0, mode=args.mode,
         strategy=args.strategy, arrival_rate=args.rate, observe=observe,
         clients=args.clients, sabotage_dedup=args.sabotage_dedup,
     )
@@ -249,7 +253,7 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     results = run_chaos_fleet(
         seeds, jobs=args.jobs, intensity=args.intensity, n_sites=args.sites,
-        db_size=args.db_size, duration=args.duration, mode=args.mode,
+        db_size=args.db_size, duration=args.duration or 3.0, mode=args.mode,
         strategy=args.strategy, arrival_rate=args.rate,
         clients=args.clients, sabotage_dedup=args.sabotage_dedup,
     )
@@ -281,6 +285,127 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
     if failed:
         repro = ", ".join(
             f"python -m repro chaos --seed {seed} --mode {args.mode}"
+            for seed in failed[:3]
+        )
+        print(f"reproduce: {repro}", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def _endurance_config(args: argparse.Namespace):
+    """Build an EnduranceConfig from the chaos argument namespace."""
+    from repro.endurance import EnduranceConfig
+
+    observe = args.trace is not None or args.metrics is not None
+    kwargs = dict(
+        n_sites=args.sites, db_size=args.db_size,
+        duration=args.duration or 12.0, mode=args.mode,
+        strategy=args.strategy, arrival_rate=args.rate,
+        # Endurance is always client-driven; --clients 0 (the chaos
+        # default) means "use the endurance default fleet size".
+        clients=args.clients or EnduranceConfig.clients,
+        observe=observe,
+        sabotage_outcome_merge=args.sabotage_outcome_merge,
+    )
+    if args.segments:
+        kwargs["segments"] = tuple(s for s in args.segments.split(",") if s)
+    config = EnduranceConfig(seed=args.seed, **kwargs)
+    config.validate()
+    return config, kwargs
+
+
+def _cmd_endurance(args: argparse.Namespace) -> int:
+    from repro.endurance import (EnduranceEngine, dump_artifacts,
+                                 repro_command)
+    from repro.obs.report import render_availability
+
+    try:
+        config, fleet_kwargs = _endurance_config(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.seeds is not None:
+        return _cmd_endurance_fleet(args, fleet_kwargs)
+    engine = EnduranceEngine(config)
+    report = engine.run()
+    if args.timeline and report.tracer is not None:
+        print(report.tracer.timeline())
+        print()
+    for time, action, detail in report.events:
+        print(f"{time:8.3f}  endurance  {action:16s} {detail}")
+    print()
+    print(report.summary())
+    m = report.metrics
+    print(f"clients: {m.get('client.requests', 0):.0f} requests, "
+          f"{m.get('client.committed', 0):.0f} committed, "
+          f"{m.get('client.failovers', 0):.0f} failovers, "
+          f"{m.get('dedup.suppressed', 0):.0f} duplicates suppressed")
+    print(render_availability(report.samples, report.bin_width,
+                              report.warmup))
+    if report.obs is not None:
+        name = f"endurance seed={args.seed} mode={args.mode}"
+        if args.trace is not None:
+            report.obs.export_chrome_trace(args.trace, name)
+            print(f"trace written to {args.trace}")
+        if args.metrics is not None:
+            report.obs.export_prometheus(args.metrics)
+            print(f"metrics written to {args.metrics}")
+    if report.ok:
+        print("all correctness checks passed; availability floor held")
+        return 0
+    print(f"FAILURE: {report.error}", file=sys.stderr)
+    out_dir = f"{args.artifacts_dir}/seed{config.seed}-{config.mode}"
+    for path in dump_artifacts(engine, out_dir):
+        print(f"  artifact: {path}", file=sys.stderr)
+    print(f"reproduce: {repro_command(config)}", file=sys.stderr)
+    return 1
+
+
+def _cmd_endurance_fleet(args: argparse.Namespace, fleet_kwargs) -> int:
+    """One endurance storm per seed across worker processes; failed
+    workers dump their artifacts under --artifacts-dir."""
+    from repro.fleet import parse_seed_spec, run_endurance_fleet
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    fleet_kwargs.pop("observe", None)
+    start = time.perf_counter()
+    results = run_endurance_fleet(seeds, jobs=args.jobs,
+                                  artifacts_dir=args.artifacts_dir,
+                                  **fleet_kwargs)
+    wall = time.perf_counter() - start
+    header = (f"{'seed':>6s} {'verdict':8s} {'sweeps':>7s} {'restarts':>9s} "
+              f"{'cycles':>7s} {'min/s':>7s} {'0-bins':>7s}  schedule digest")
+    print(header)
+    print("-" * len(header))
+    failed: List[int] = []
+    for seed in seeds:
+        payload = results[seed]
+        if "fleet_error" in payload:
+            failed.append(seed)
+            print(f"{seed:6d} ERROR    worker crashed:")
+            print("    " + payload["fleet_error"].strip().replace("\n", "\n    "))
+            continue
+        if not payload["ok"]:
+            failed.append(seed)
+        avail = payload["availability"]
+        print(f"{seed:6d} {'PASS' if payload['ok'] else 'FAIL':8s} "
+              f"{payload['sweeps']:7d} {payload['rolling_restarts']:9d} "
+              f"{payload['partition_cycles']:7d} {avail['min_rate']:7.1f} "
+              f"{avail['zero_bins']:7.0f}  {payload['schedule_digest'][:16]}")
+        if not payload["ok"]:
+            print(f"       error: {payload['error']}")
+            for path in payload.get("artifacts", ()):
+                print(f"       artifact: {path}")
+    print(f"\n{len(seeds)} endurance runs in {wall:.1f}s wall "
+          f"(--jobs {args.jobs}); {len(seeds) - len(failed)} passed, "
+          f"{len(failed)} failed")
+    if failed:
+        repro = ", ".join(
+            f"python -m repro chaos --endurance --seed {seed} "
+            f"--mode {args.mode}"
             for seed in failed[:3]
         )
         print(f"reproduce: {repro}", file=sys.stderr)
@@ -444,7 +569,31 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(sites=4, db_size=40, rate=60.0)
     chaos.add_argument("--intensity", type=float, default=0.5,
                        help="fault event rate scale in [0, 1] (default 0.5)")
-    chaos.add_argument("--duration", type=float, default=3.0)
+    chaos.add_argument("--duration", type=float, default=None,
+                       help="storm length in virtual seconds "
+                            "(default 3.0, or 12.0 with --endurance)")
+    chaos.add_argument("--endurance", action="store_true",
+                       help="run the long-horizon churn engine instead of "
+                            "the single storm: composed rolling-restart / "
+                            "partition-storm / join-leave-churn / "
+                            "self-stabilization segments under client "
+                            "traffic, with quiescent invariant sweeps and "
+                            "an availability-floor check (docs/ENDURANCE.md)")
+    chaos.add_argument("--segments", default=None, metavar="LIST",
+                       help="with --endurance: comma-separated segment "
+                            "families to compose the schedule from "
+                            "(default rolling,storm,churn,stabilize)")
+    chaos.add_argument("--sabotage-outcome-merge", action="store_true",
+                       help="with --endurance: one site skips merging the "
+                            "peer's exactly-once outcome table at transfer "
+                            "completion; the run is then EXPECTED to fail "
+                            "a quiescent sweep (checker self-test)")
+    chaos.add_argument("--artifacts-dir", default="endurance_out",
+                       metavar="DIR",
+                       help="with --endurance: where failed runs dump "
+                            "their evidence (schedule, trace, WAL, "
+                            "availability timeline, repro command; "
+                            "default %(default)s)")
     chaos.add_argument("--timeline", action="store_true",
                        help="also print the full trace timeline")
     chaos.add_argument("--trace", nargs="?", const="chaos_trace.json",

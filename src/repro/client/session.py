@@ -23,6 +23,7 @@ so client-mode runs replay bit-identically under ``repro audit``.
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -46,12 +47,19 @@ class SessionConfig:
     #: Give up on an attempt that produced no response for this long.
     response_timeout: float = 1.0
     #: Exponential backoff between attempts: ``base * factor**k`` capped
-    #: at ``backoff_max`` (k = completed attempts so far).  Deliberately
-    #: jitter-free: the schedule is a pure function of the attempt index,
-    #: which the determinism unit tests pin down.
+    #: at ``backoff_max`` (k = completed attempts so far).  The base
+    #: schedule is a pure function of the attempt index, which the
+    #: determinism unit tests pin down.
     backoff_base: float = 0.02
     backoff_factor: float = 2.0
     backoff_max: float = 1.0
+    #: Jitter fraction in [0, 1] applied to each backoff delay to spread
+    #: the retries of different clients after a mass failover (0 = none,
+    #: the default).  The jittered delay is ``delay * (1 - j + j*u)``
+    #: where ``u`` is a deterministic hash of (client_id, seq, attempt) —
+    #: no RNG is consumed, so runs replay bit-identically and two clients
+    #: never share a retry schedule.
+    backoff_jitter: float = 0.0
     #: Total attempts per logical request before the session gives up.
     max_attempts: int = 8
 
@@ -62,6 +70,8 @@ class SessionConfig:
             raise ValueError("backoff bounds must be positive")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be at least 1.0")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be in [0, 1]")
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be at least 1")
 
@@ -250,7 +260,7 @@ class ClientSession:
         self._sleep_then_retry(record)
 
     def _sleep_then_retry(self, record: RequestRecord) -> None:
-        delay = self.backoff_delay(record.attempts_used)
+        delay = self.jittered_delay(record.seq, record.attempts_used)
         record.backoff_schedule.append(delay)
         self.cluster.sim.schedule(
             delay, self._start_attempt, record,
@@ -263,6 +273,22 @@ class ClientSession:
             config.backoff_base * (config.backoff_factor ** completed_attempts),
             config.backoff_max,
         )
+
+    def jittered_delay(self, seq: int, completed_attempts: int) -> float:
+        """The backoff delay with the configured jitter applied.
+
+        The jitter coefficient is a CRC32 hash of (client_id, seq,
+        attempt) mapped to [0, 1]: deterministic across processes
+        (unlike ``hash``) and distinct per client, so a mass failover
+        desynchronizes without consuming simulator randomness.
+        """
+        delay = self.backoff_delay(completed_attempts)
+        jitter = self.config.backoff_jitter
+        if jitter <= 0.0:
+            return delay
+        token = f"{self.client_id}:{seq}:{completed_attempts}"
+        unit = zlib.crc32(token.encode("utf-8")) / 0xFFFFFFFF
+        return delay * (1.0 - jitter + jitter * unit)
 
     def _finish(self, record: RequestRecord, state: RequestState,
                 gid: Optional[int] = None) -> None:

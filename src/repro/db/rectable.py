@@ -28,6 +28,10 @@ class RecTable:
         self.registrations = 0
         self.deletions = 0
         self.flushes = 0
+        #: Highest min-cover the table was ever purged with.  Records at
+        #: or below it are gone, so :meth:`changed_since` can only answer
+        #: covers at or above this floor (see :meth:`can_answer`).
+        self.purge_floor = -1
 
     def __len__(self) -> int:
         return len(self._last_writer)
@@ -79,6 +83,18 @@ class RecTable:
         """
         return {obj: gid for obj, gid in self._last_writer.items() if gid > cover_gid}
 
+    def can_answer(self, cover_gid: int) -> bool:
+        """Whether :meth:`changed_since` is complete for this cover.
+
+        Garbage collection deletes records at or below the minimum cover
+        over all sites, which is safe only while covers are monotonic per
+        site.  A site rebooted from damaged-but-CRC-valid stable state
+        can honestly report a cover *below* an earlier announcement; the
+        purged table then cannot enumerate what such a joiner is missing
+        and the caller must fall back to the store's version tags.
+        """
+        return cover_gid >= self.purge_floor
+
     def last_writer(self, obj: str) -> int:
         return self._last_writer[obj]
 
@@ -87,6 +103,7 @@ class RecTable:
     # ------------------------------------------------------------------
     def purge(self, min_cover_gid: int) -> int:
         """Delete records with gid <= the minimum cover over all sites."""
+        self.purge_floor = max(self.purge_floor, min_cover_gid)
         stale = [obj for obj, gid in self._last_writer.items() if gid <= min_cover_gid]
         for obj in stale:
             del self._last_writer[obj]

@@ -7,12 +7,17 @@ The subpackage groups everything that deliberately breaks a cluster:
   plugged into :class:`repro.net.Network`;
 * :mod:`repro.faults.storage` — crash-time WAL damage
   (:class:`TornTailFaults`), detected at recovery via per-record
-  checksums;
+  checksums, and CRC-valid stable-state damage
+  (:class:`StableStateCorruptor`) for self-stabilization starts;
+* :mod:`repro.faults.churn` — the membership-churn segment composers
+  (rolling restarts, partition/merge cycles, join/leave churn,
+  stabilization starts) driven by :mod:`repro.endurance`;
 * :mod:`repro.faults.chaos` — the seeded randomized chaos engine that
   combines all of the above and asserts the global invariants.
 """
 
 from repro.faults.chaos import ChaosConfig, ChaosEngine, ChaosReport, run_chaos
+from repro.faults.churn import SEGMENTS
 from repro.faults.injectors import (
     DuplicateInjector,
     FaultInjector,
@@ -21,7 +26,7 @@ from repro.faults.injectors import (
     ReorderInjector,
     site_of,
 )
-from repro.faults.storage import TornTailFaults
+from repro.faults.storage import StableStateCorruptor, TornTailFaults
 
 __all__ = [
     "ChaosConfig",
@@ -32,6 +37,8 @@ __all__ = [
     "LatencySpikeInjector",
     "OneWayLinkInjector",
     "ReorderInjector",
+    "SEGMENTS",
+    "StableStateCorruptor",
     "TornTailFaults",
     "run_chaos",
     "site_of",

@@ -1,0 +1,173 @@
+"""Churn schedulers and storm composers for the endurance engine.
+
+Each segment is one imperative composer driven against a live cluster by
+:class:`repro.endurance.EnduranceEngine` (passed in as ``engine``): it
+advances the simulation, injects membership churn, and returns a
+human-readable summary.  All randomness comes from ``engine.rng`` — the
+dedicated endurance stream — so a segment schedule is a pure function of
+the endurance seed.
+
+Every composer preserves the availability invariant the endurance runs
+assert: at most one site is ever outside ACTIVE at a time (the static
+majority policy needs ``n - 1`` connected sites out of ``n = 4`` to keep
+a primary view serving clients).  Partitions always isolate exactly one
+site; a second crash only ever strikes the site already down or
+recovering.
+"""
+
+from __future__ import annotations
+
+from repro.replication.node import SiteStatus
+
+#: Registry used by :class:`repro.endurance.EnduranceConfig.segments`.
+SEGMENT_NAMES = ("rolling", "storm", "churn", "stabilize")
+
+
+def _transfer_counts(cluster):
+    started = sum(n.reconfig.transfers_started for n in cluster.nodes.values())
+    completed = sum(n.reconfig.transfers_completed for n in cluster.nodes.values())
+    return started, completed
+
+
+def run_rolling(engine) -> str:
+    """Rolling restart: every site bounced in sequence, one at a time.
+
+    The next victim is only struck after the previous one is ACTIVE
+    again, so the primary view never loses more than one member and no
+    client request is lost — sessions fail over to the three survivors.
+    """
+    cluster, rng = engine.cluster, engine.rng
+    if not engine.normalize():
+        return "skipped: cluster did not settle to all-active"
+    restarted = 0
+    for site in cluster.universe:
+        cluster.crash(site)
+        engine.note("rolling_crash", site)
+        cluster.run_for(0.10 + 0.20 * rng.random())
+        cluster.recover(site)
+        engine.note("rolling_recover", site)
+        if not engine.await_site_active(site):
+            engine.fail(f"rolling restart stuck: {site} never became ACTIVE")
+            return f"stuck at {site} after {restarted} restarts"
+        restarted += 1
+    engine.report.rolling_restarts += restarted
+    return f"{restarted} sites restarted in sequence"
+
+
+def run_storm(engine) -> str:
+    """Repeated partition/merge cycles against one victim site.
+
+    Paced so the state transfer triggered by each merge is usually still
+    in flight when the next cut lands — the paper's cascading-
+    reconfiguration story (Figure 1), repeated until it stops being an
+    anecdote.  The majority side keeps serving throughout.
+    """
+    cluster, rng = engine.cluster, engine.rng
+    for site in cluster.universe:
+        if not cluster.nodes[site].alive:
+            cluster.recover(site)
+    victim = rng.choice(list(cluster.universe))
+    majority = [s for s in cluster.universe if s != victim]
+    cycles = 2 + rng.randrange(3)
+    interrupted = 0
+    for cycle in range(cycles):
+        cluster.partition([majority, [victim]])
+        engine.note("partition", f"{majority} | [{victim}]")
+        # Long enough for the majority view to install and keep serving
+        # (back-to-back cuts with no serving window would just thrash
+        # the membership protocol and zero out availability).
+        cluster.run_for(0.20 + 0.20 * rng.random())
+        started_0, completed_0 = _transfer_counts(cluster)
+        cluster.heal()
+        engine.note("merge", victim)
+        # Long enough for the rejoin transfer to start, short enough
+        # that the next cut usually interrupts it before completion.
+        cluster.run_for(0.12 + 0.12 * rng.random())
+        started_1, completed_1 = _transfer_counts(cluster)
+        in_flight = (started_1 - started_0) - (completed_1 - completed_0)
+        if cycle < cycles - 1 and in_flight > 0:
+            interrupted += in_flight
+    engine.report.partition_cycles += cycles
+    engine.report.transfers_interrupted += interrupted
+    return (f"{cycles} partition/merge cycles against {victim}, "
+            f"{interrupted} transfers cut mid-flight")
+
+
+def run_churn(engine) -> str:
+    """Continuous join/leave churn under live client traffic.
+
+    A random walk over single-site membership events: an ACTIVE site
+    leaves, the down site rejoins, and a still-recovering site is
+    sometimes struck again mid-transfer (the restart-during-recovery
+    case the lazy strategy's fail-over resume exists for).
+    """
+    cluster, rng = engine.cluster, engine.rng
+    steps = 4 + rng.randrange(4)
+    leaves = joins = 0
+    for _ in range(steps):
+        cluster.run_for(0.08 + 0.12 * rng.random())
+        down = [s for s in cluster.universe if not cluster.nodes[s].alive]
+        recovering = [
+            s for s in cluster.universe
+            if cluster.nodes[s].alive
+            and cluster.nodes[s].status is not SiteStatus.ACTIVE
+        ]
+        if down:
+            site = rng.choice(down)
+            cluster.recover(site)
+            engine.note("join", site)
+            joins += 1
+        elif recovering:
+            if rng.random() < 0.4:
+                site = rng.choice(recovering)
+                cluster.crash(site)
+                engine.note("leave", f"{site} (struck mid-recovery)")
+                leaves += 1
+            # else: give the recovery a beat to make progress
+        else:
+            site = rng.choice(list(cluster.universe))
+            cluster.crash(site)
+            engine.note("leave", site)
+            leaves += 1
+    for site in cluster.universe:
+        if not cluster.nodes[site].alive:
+            cluster.recover(site)
+            engine.note("join", f"{site} (churn epilogue)")
+    engine.report.churn_leaves += leaves
+    return f"{steps} churn steps: {leaves} leaves, {joins} rejoins"
+
+
+def run_stabilize(engine) -> str:
+    """Self-stabilization start: boot a site from corrupted stable state.
+
+    One site is crashed, its WAL/outcome-table image is damaged in a
+    CRC-valid way (:class:`repro.faults.storage.StableStateCorruptor`),
+    and the site is rebooted.  Recovery cannot detect the damage locally;
+    the run requires the rejoin protocol to converge it anyway — the
+    arXiv:1606.00195 recovery-from-plausible-state model.
+    """
+    cluster, rng = engine.cluster, engine.rng
+    if not engine.normalize():
+        return "skipped: cluster did not settle to all-active"
+    site = rng.choice(list(cluster.universe))
+    cluster.crash(site)
+    detail = engine.corruptor.corrupt(cluster.nodes[site].storage, site)
+    engine.note("stabilize", f"{site} {detail}")
+    cluster.run_for(0.05 + 0.10 * rng.random())
+    cluster.recover(site)
+    if not engine.await_site_active(site):
+        engine.fail(
+            f"stabilization start did not converge: {site} rebooted from "
+            f"a corrupted state ({detail}) and never became ACTIVE"
+        )
+        return f"{site} stuck after corruption ({detail})"
+    engine.report.stabilize_starts += 1
+    return f"{site} converged from corrupted state ({detail})"
+
+
+SEGMENTS = {
+    "rolling": run_rolling,
+    "storm": run_storm,
+    "churn": run_churn,
+    "stabilize": run_stabilize,
+}

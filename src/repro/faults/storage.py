@@ -68,3 +68,86 @@ class TornTailFaults:
             f"torn-tail(tear={self.tear_probability}, "
             f"corrupt={self.corrupt_probability})"
         )
+
+
+class StableStateCorruptor:
+    """Corrupted-but-CRC-valid stable state for self-stabilization starts.
+
+    Unlike :class:`TornTailFaults` (which damages records so recovery's
+    checksum scan *detects* them), this model produces states every
+    record of which checksums clean — the damage is structural, the kind
+    a disk that lied about fsync or a buggy checkpointer leaves behind.
+    Single-site recovery has no local way to notice; the endurance runs
+    (:mod:`repro.endurance`) boot sites from such states and require the
+    protocol stack to converge anyway.
+
+    Every operation only *loses* or *duplicates* genuine state, never
+    fabricates it, so the result is always a plausible stale replica:
+
+    * ``lost_suffix`` — drop a suffix of the log **including durable
+      records** (the fsync lie).  The surviving prefix may be older than
+      the checkpoint image; the recomputed cover is honestly lower and
+      the data transfer resends everything above it.
+    * ``outcome_amnesia`` — forget a random subset of the checkpointed
+      exactly-once outcome rows.  Healed because transfer completion
+      replaces the joiner's table wholesale (``OutcomeTable.reset_to``)
+      before any replay decision consults it.
+    * ``duplicate_records`` — stutter a chunk of log records (a replayed
+      journal segment).  Recovery's terminated-set bookkeeping and
+      forward-version-only redo make the second copy a no-op.
+
+    Applied to a crashed site's storage between ``crash()`` and
+    ``recover()``; decisions draw from a dedicated seeded RNG so a
+    corruption campaign is reproducible independent of the simulation.
+    """
+
+    OPS = ("lost_suffix", "outcome_amnesia", "duplicate_records")
+
+    def __init__(self, seed: int) -> None:
+        self.rng = random.Random(f"stabilize-{seed}")
+        #: ``(site, op, detail)`` per corruption applied, in order.
+        self.applied = []
+
+    def corrupt(self, storage: PersistentStorage, site: str = "?") -> str:
+        """Apply one random corruption; returns ``"op: detail"``."""
+        op = self.rng.choice(self.OPS)
+        detail = getattr(self, f"_{op}")(storage)
+        self.applied.append((site, op, detail))
+        return f"{op}: {detail}"
+
+    def _lost_suffix(self, storage: PersistentStorage) -> str:
+        if len(storage.log) <= 1:
+            return "log too short, nothing lost"
+        # Keep at least the leading baseline record so the site still
+        # looks like it once held a copy.
+        cut = self.rng.randrange(1, len(storage.log))
+        durable_before = storage.durable_length
+        removed = storage.truncate_at(cut)
+        durable_lost = max(0, durable_before - storage.durable_length)
+        return (f"dropped {removed} records from index {cut} "
+                f"({durable_lost} of them durable)")
+
+    def _outcome_amnesia(self, storage: PersistentStorage) -> str:
+        rows = storage.outcome_image
+        if not rows:
+            return "no checkpointed outcome rows to forget"
+        kept = tuple(row for row in rows if self.rng.random() >= 0.5)
+        storage.outcome_image = kept
+        return f"forgot {len(rows) - len(kept)} of {len(rows)} outcome rows"
+
+    def _duplicate_records(self, storage: PersistentStorage) -> str:
+        if not storage.log:
+            return "empty log, nothing to duplicate"
+        start = self.rng.randrange(len(storage.log))
+        length = min(1 + self.rng.randrange(4), len(storage.log) - start)
+        chunk = storage.log[start:start + length]
+        insert_at = start + length
+        storage.log[insert_at:insert_at] = chunk
+        storage._crcs[insert_at:insert_at] = [None] * len(chunk)
+        # A duplicated durable segment is itself durable.
+        if insert_at <= storage.durable_length:
+            storage.durable_length += len(chunk)
+        return f"stuttered {length} records at index {start}"
+
+    def describe(self) -> str:
+        return f"stable-state-corruptor({len(self.applied)} applied)"

@@ -79,6 +79,25 @@ def _run_recovery(params: Dict[str, Any]) -> Dict[str, Any]:
     return run_recovery_experiment(**recovery_kwargs(params)).payload()
 
 
+def _run_endurance(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.endurance import EnduranceConfig, EnduranceEngine, dump_artifacts
+
+    params = dict(params)
+    # Evidence directory for failed runs; workers dump their own
+    # artifacts because the report objects (tracer, cluster) never
+    # cross the process boundary — only this picklable payload does.
+    artifacts_dir = params.pop("artifacts_dir", None)
+    config = EnduranceConfig(**params)
+    engine = EnduranceEngine(config)
+    report = engine.run()
+    payload = report.payload()
+    if artifacts_dir is not None and not report.ok:
+        payload["artifacts"] = dump_artifacts(
+            engine, os.path.join(artifacts_dir,
+                                 f"seed{config.seed}-{config.mode}"))
+    return payload
+
+
 def _run_audit(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro import audit
 
@@ -96,6 +115,7 @@ def _run_probe(params: Dict[str, Any]) -> Dict[str, Any]:
 RUNNERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "bench": _run_bench,
     "chaos": _run_chaos,
+    "endurance": _run_endurance,
     "recovery": _run_recovery,
     "audit": _run_audit,
     "probe": _run_probe,
@@ -180,6 +200,23 @@ def run_chaos_fleet(seeds: Sequence[int], jobs: int = 1,
     tasks = [
         FleetTask(key=f"seed={seed}", kind="chaos",
                   params={"seed": seed, **chaos_params})
+        for seed in seeds
+    ]
+    payloads = run_fleet(tasks, jobs=jobs)
+    return {seed: payloads[f"seed={seed}"] for seed in seeds}
+
+
+# ----------------------------------------------------------------------
+# Endurance seed fleets
+# ----------------------------------------------------------------------
+def run_endurance_fleet(seeds: Sequence[int], jobs: int = 1,
+                        **endurance_params: Any) -> Dict[int, Dict[str, Any]]:
+    """Run one endurance storm per seed; results keyed by seed, in the
+    given seed order.  ``endurance_params`` are
+    :class:`repro.endurance.EnduranceConfig` fields shared by every run."""
+    tasks = [
+        FleetTask(key=f"seed={seed}", kind="endurance",
+                  params={"seed": seed, **endurance_params})
         for seed in seeds
     ]
     payloads = run_fleet(tasks, jobs=jobs)

@@ -241,7 +241,18 @@ class EnrichedGroupMember:
                 # Should not happen (every participant flushes), but a
                 # deterministic singleton default keeps all members agreed.
                 claim = {"sv": ("sv", node, -1), "svs": ("svs", node, -1), "pv": None}
-            claims[node] = claim
+            claims[node] = dict(claim)
+        # The claims are flush-time snapshots, but merge requests keep
+        # being delivered between a member's flush reply and the
+        # installation (via the SYNC union).  A merge landing in that
+        # window is invisible to (some of) the claims, and a structurally
+        # merged majority would wrongly fragment apart — triggering a
+        # spurious creation protocol and a cluster-wide outage.  Replay
+        # the union's requests over the claims: the gseq-embedded merge
+        # ids make the replay idempotent for claims that already reflect
+        # them, and every installer computes the same result from the
+        # same SYNC.
+        self._replay_sync_requests(view, claims)
 
         def fragment_ids(key: str, tag: str) -> Dict[str, SubviewId]:
             groups: Dict[Any, List[str]] = {}
@@ -264,6 +275,42 @@ class EnrichedGroupMember:
         self.eviews_installed.append(self.eview)
         if self.app is not None:
             self.app.on_eview_change(self.eview, "view_change", states, None)
+
+    def _replay_sync_requests(self, view: View, claims: Dict[str, Dict[str, Any]]) -> None:
+        """Apply the SYNC union's EVS requests on top of the flush-time
+        structure claims, per previous-view group, in gseq order."""
+        tails = self.member.sync_evs_requests
+        by_pv: Dict[Any, List[str]] = {}
+        for node in view.members:
+            by_pv.setdefault(claims[node]["pv"], []).append(node)
+        for pv, nodes in by_pv.items():
+            if pv is None:
+                continue
+            for gseq, request in tails.get(pv, ()):
+                if request.kind == "subview_set_merge":
+                    key, new_id = "svs", ("svsm", gseq)
+                elif request.kind == "subview_merge":
+                    key, new_id = "sv", ("svm", gseq)
+                else:
+                    continue
+                held = {claims[n][key] for n in nodes}
+                targets = [t for t in request.targets if t in held]
+                # A claim already carrying the gseq-embedded id proves the
+                # request applied at delivery (some members flushed after
+                # delivering it); otherwise require two live targets, like
+                # the delivery-time validity check.
+                applied = new_id in held
+                if not applied and len(targets) < 2:
+                    continue
+                if key == "sv" and not applied:
+                    owners = {
+                        claims[n]["svs"] for n in nodes if claims[n]["sv"] in targets
+                    }
+                    if len(owners) != 1:
+                        continue
+                for n in nodes:
+                    if claims[n][key] in targets:
+                        claims[n][key] = new_id
 
     def on_message(self, sender: str, payload: Any, gseq: int) -> None:
         if isinstance(payload, EvsRequest):

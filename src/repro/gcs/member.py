@@ -32,7 +32,9 @@ from repro.gcs.messages import (
     OrderedBatch,
     Presence,
     Propose,
+    RoundAbort,
     Sync,
+    round_priority,
 )
 from repro.gcs.primary import PrimaryLineage, policy_by_name
 from repro.gcs.total_order import ViewTotalOrder
@@ -113,6 +115,13 @@ class GroupMember(Process):
         #: All members the last view change identified as stale (their
         #: delivery position was behind the agreed base).
         self.stale_members: Tuple[str, ...] = ()
+        #: EVS merge requests found in the last SYNC's per-previous-view
+        #: unions, as ``{prev_view_id: ((gseq, EvsRequest), ...)}``.  The
+        #: EVS layer replays them over the flush-time structure claims at
+        #: installation: a merge delivered between a member's flush reply
+        #: and the install is otherwise invisible to the claims, and a
+        #: structurally merged majority would wrongly fragment apart.
+        self.sync_evs_requests: Dict[Any, Tuple[Any, ...]] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -128,6 +137,7 @@ class GroupMember(Process):
         self._pending = {}
         self._next_msg_id = 0
         self.lineage = None  # volatile group knowledge, lost in the crash
+        self.sync_evs_requests = {}
         self.view = singleton_view(self.node_id, self.epoch_floor)
         self._view_primary = self.primary_policy.decide(
             self.view.members, len(self.universe), [self.lineage]
@@ -219,7 +229,7 @@ class GroupMember(Process):
         without it.  Demotion lasts until the next view installation."""
         if not self._view_primary or len(self.view) <= 1:
             return
-        my_epoch = self.view.view_id.epoch
+        mine = round_priority((self.view.view_id.epoch, self.view.view_id.coordinator))
         defectors = 0
         for node in self.view.members:
             if node == self.node_id:
@@ -227,7 +237,12 @@ class GroupMember(Process):
             claimed = self.fd.claimed_view(node)
             if (
                 claimed is not None
-                and claimed.epoch > my_epoch
+                # Same-epoch views are concurrent too: two racing rounds
+                # can install 25@S1 and 25@S2, and the loser (larger
+                # coordinator id) must demote just as if it were a whole
+                # epoch behind — otherwise it keeps acting as a phantom
+                # primary whose claimed members installed the other view.
+                and round_priority((claimed.epoch, claimed.coordinator)) > mine
                 and self.node_id not in self.fd.claimed_members(node)
             ):
                 defectors += 1
@@ -268,6 +283,8 @@ class GroupMember(Process):
             self.membership.on_flush_reply(src, payload)
         elif isinstance(payload, FlushNack):
             self.membership.on_flush_nack(src, payload)
+        elif isinstance(payload, RoundAbort):
+            self.membership.on_round_abort(src, payload)
         elif isinstance(payload, Sync):
             self.membership.on_sync(src, payload)
 

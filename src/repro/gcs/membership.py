@@ -29,10 +29,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.gcs.messages import (
+    EvsRequest,
     FlushNack,
     FlushReply,
     Ordered,
     Propose,
+    RoundAbort,
     RoundId,
     Sync,
     round_priority,
@@ -79,12 +81,18 @@ class MembershipEngine:
         member = self.member
         if self.current_round is not None:
             now = member.sim.now
-            if self.initiating and now >= self._flush_deadline:
-                for node in self._round_members:
-                    if node not in self._flushes:
+            if self.initiating:
+                # Waiting out the full flush timeout for a member the
+                # failure detector has already given up on only extends
+                # the delivery freeze — a crashed joiner will never
+                # reply, so abandon the round as soon as it is suspected.
+                alive = member.fd.alive_nodes() | {member.node_id}
+                pending = [n for n in self._round_members if n not in self._flushes]
+                if now >= self._flush_deadline or any(n not in alive for n in pending):
+                    for node in pending:
                         member.fd.force_suspect(node)
-                self._abort_round()
-            elif not self.initiating and now >= self._sync_deadline:
+                    self._abort_round()
+            elif now >= self._sync_deadline:
                 self._abort_round()
             return
         self._maybe_initiate()
@@ -133,6 +141,15 @@ class MembershipEngine:
     def _abort_round(self) -> None:
         member = self.member
         self.rounds_aborted += 1
+        if self.initiating and self.current_round is not None:
+            # Unfreeze the participants right away: without this they sit
+            # blocked until their own round_timeout expires, and repeated
+            # aborted rounds (a flapping joiner) starve the surviving
+            # majority of message delivery for seconds at a time.
+            abort = RoundAbort(round_id=self.current_round)
+            for node in self._round_members:
+                if node != member.node_id:
+                    member.endpoint.send(node, abort)
         self.current_round = None
         self.initiating = False
         self._round_members = ()
@@ -148,6 +165,27 @@ class MembershipEngine:
         if member.node_id not in msg.members:
             return
         member.fd.note_epoch(msg.round_id[0])
+        installed = member.view.view_id
+        if round_priority(msg.round_id) <= round_priority(
+            (installed.epoch, installed.coordinator)
+        ):
+            # Stale PROPOSE: the round is not beyond the view we already
+            # installed — typically a duplicated copy of the very round
+            # that produced this view, arriving after its SYNC.  Joining
+            # it would freeze the installed view's delivery for a full
+            # round_timeout waiting on a SYNC that never comes (the
+            # initiator drops replies for rounds it is not running), so
+            # refuse and point the sender at the installed view instead.
+            if msg.round_id[1] != member.node_id:
+                member.endpoint.send(
+                    msg.round_id[1],
+                    FlushNack(
+                        round_id=msg.round_id,
+                        sender=member.node_id,
+                        better_round=(installed.epoch, installed.coordinator),
+                    ),
+                )
+            return
         if self.current_round is not None and self.current_round != msg.round_id:
             if round_priority(self.current_round) >= round_priority(msg.round_id):
                 reply = FlushNack(
@@ -160,9 +198,29 @@ class MembershipEngine:
                 else:
                     member.endpoint.send(msg.round_id[1], reply)
                 return
-            # The incoming round wins: abandon ours and join it.
+            # The incoming round wins: abandon ours and join it.  The
+            # abandoned round must not limp on without us — if we
+            # initiated it, release its frozen participants; if we
+            # already FLUSH-replied to it, retract the reply, or its
+            # initiator may complete the round with our stale reply and
+            # install, alone, a view we will never join (a phantom
+            # primary forking the global sequence).
+            old_round = self.current_round
+            if self.initiating:
+                abort = RoundAbort(round_id=old_round)
+                for node in self._round_members:
+                    if node != member.node_id:
+                        member.endpoint.send(node, abort)
+            elif old_round[1] != member.node_id:
+                retraction = FlushNack(
+                    round_id=old_round,
+                    sender=member.node_id,
+                    better_round=msg.round_id,
+                )
+                member.endpoint.send(old_round[1], retraction)
             self.current_round = None
             self.initiating = False
+            self._round_members = ()
             self._flushes = {}
         if self.current_round == msg.round_id and not self.initiating:
             return  # duplicate PROPOSE
@@ -199,8 +257,25 @@ class MembershipEngine:
             self._complete_round()
 
     def on_flush_nack(self, src: str, msg: FlushNack) -> None:
+        # Learn the refusing side's epoch either way, so our next attempt
+        # proposes an epoch beyond whatever beat us.
+        self.member.fd.note_epoch(msg.better_round[0])
         if self.initiating and msg.round_id == self.current_round:
             self._abort_round()
+
+    def on_round_abort(self, src: str, msg: RoundAbort) -> None:
+        """The initiator abandoned the round we are frozen for: resume
+        the previous view now rather than waiting for the sync timeout.
+        Only the round's own initiator may abort it, and an abort for any
+        other round (stale, already superseded) is ignored."""
+        if self.initiating or msg.round_id != self.current_round:
+            return
+        if src != msg.round_id[1]:
+            return
+        self.current_round = None
+        self._round_members = ()
+        self._flushes = {}
+        self.member.resume_after_aborted_round()
 
     def _complete_round(self) -> None:
         member = self.member
@@ -292,5 +367,13 @@ class MembershipEngine:
         union = msg.sync_messages.get(member.view.view_id, ())
         member.to.deliver_sync(union)
         member.stale_members = msg.stale
+        member.sync_evs_requests = {
+            vid: tuple(
+                (o.gseq, o.payload)
+                for o in msgs
+                if isinstance(o.payload, EvsRequest)
+            )
+            for vid, msgs in msg.sync_messages.items()
+        }
         member.install_view(msg.view, msg.base_gseq, msg.states,
                             primary=msg.primary, lineage=msg.lineage)

@@ -153,6 +153,20 @@ class FlushNack:
 
 
 @dataclass(frozen=True)
+class RoundAbort:
+    """The initiator abandoned a round (missing FLUSH replies).
+
+    Participants frozen for the round resume their previous view
+    immediately instead of sitting blocked until ``round_timeout`` —
+    under membership churn (a flapping joiner re-triggering rounds) that
+    wait is the difference between a brief hiccup and seconds of total
+    delivery outage in the surviving majority.
+    """
+
+    round_id: RoundId
+
+
+@dataclass(frozen=True)
 class Sync:
     """Phase 3: install the new view.
 

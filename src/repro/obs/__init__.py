@@ -39,7 +39,8 @@ from repro.obs.metrics import (
     SIZE_BUCKETS,
     TIME_BUCKETS,
 )
-from repro.obs.report import render_summary, span_durations
+from repro.obs.report import (availability_samples, render_availability,
+                              render_summary, span_durations)
 from repro.obs.spans import Span, SpanTracker
 
 __all__ = [
@@ -59,6 +60,8 @@ __all__ = [
     "collect_cluster_metrics",
     "load_jsonl",
     "prometheus_text",
+    "availability_samples",
+    "render_availability",
     "render_summary",
     "span_durations",
     "write_chrome_trace",

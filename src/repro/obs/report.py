@@ -55,6 +55,55 @@ def _site_rows(run: RunData) -> List[Tuple[str, int, int, int, int, float]]:
     return rows
 
 
+def availability_samples(run: RunData) -> List[Tuple[float, int, bool]]:
+    """``(bin end, commits, maintenance)`` rows from an endurance run's
+    ``availability_sample`` trace events (empty for other runs)."""
+    samples: List[Tuple[float, int, bool]] = []
+    for event in run.events:
+        if (event.category == "endurance"
+                and event.kind == "availability_sample" and event.data):
+            samples.append((float(event.data["t"]),
+                            int(event.data["commits"]),
+                            bool(event.data["maintenance"])))
+    return samples
+
+
+def render_availability(samples: List[Tuple[float, int, bool]],
+                        bin_width: float, warmup: float = 0.0,
+                        columns: int = 60) -> str:
+    """Compact availability timeline: one character per sample bin.
+
+    ``#`` serving at/above the run mean, ``+`` below it, ``0`` a
+    zero-commit serving bin (the outage signature), ``m`` maintenance
+    (quiescent sweep), ``.`` warmup.
+    """
+    serving = [c for t, c, m in samples if not m and t > warmup]
+    mean = (sum(serving) / len(serving)) if serving else 0.0
+    rows: List[str] = []
+    line: List[str] = []
+    start = samples[0][0] - bin_width if samples else 0.0
+    for t, commits, maintenance in samples:
+        if t <= warmup:
+            line.append(".")
+        elif maintenance:
+            line.append("m")
+        elif commits == 0:
+            line.append("0")
+        else:
+            line.append("#" if commits >= mean else "+")
+        if len(line) == columns:
+            rows.append(f"  {start:7.2f}s  {''.join(line)}")
+            line = []
+            start = t
+    if line:
+        rows.append(f"  {start:7.2f}s  {''.join(line)}")
+    legend = ("  [# >= mean rate, + below mean, 0 ZERO commits, "
+              "m maintenance sweep, . warmup]")
+    return "\n".join(["availability timeline "
+                      f"({bin_width:g}s bins, mean {mean / bin_width:.1f}/s):"]
+                     + rows + [legend])
+
+
 def render_summary(run: RunData) -> str:
     lines: List[str] = []
     meta = run.meta
@@ -98,6 +147,14 @@ def render_summary(run: RunData) -> str:
         for site, events, applies, commits, recoveries, rec_time in rows:
             lines.append(f"  {site:6s} {events:7d} {applies:8d} "
                          f"{commits:8d} {recoveries:11d} {rec_time:11.4f}")
+        lines.append("")
+
+    samples = availability_samples(run)
+    if samples:
+        deltas = sorted(b[0] - a[0] for a, b in zip(samples, samples[1:])
+                        if b[0] > a[0])
+        bin_width = deltas[len(deltas) // 2] if deltas else 0.25
+        lines.append(render_availability(samples, bin_width))
         lines.append("")
 
     txn_spans = sum(1 for s in run.spans if s.category == "txn")

@@ -116,6 +116,7 @@ class EvsReconfigManager(BaseReconfigManager):
             self._creation_source = False
             self._creation_started = False
             self._creation_view = None
+            self._creation_members = None
             self._creation_reports = {}
             self._caught_up_joiners.clear()
             return
@@ -353,6 +354,35 @@ class EvsReconfigManager(BaseReconfigManager):
             self._sv_merges_requested.clear()
             self._reconcile(eview, sync_gid=self.node.last_processed_gid)
 
+    def on_peer_session_stalled(self, session: PeerTransferSession) -> None:
+        """Unlike the plain-VS case, a stalled peer session cannot always
+        rely on the joiner's own watchdog: during the creation protocol
+        the source is the *only* possible peer and every site (including
+        the joiner) is SUSPENDED, so nobody solicits and the whole
+        cluster stays unavailable until this transfer lands.  Keep
+        retrying for as long as Rule III is still waiting on the joiner."""
+        super().on_peer_session_stalled(session)
+        self.node.proc.after(
+            self.node.config.transfer_ack_timeout,
+            self._retry_stalled_session,
+            session.joiner,
+        )
+
+    def _retry_stalled_session(self, joiner: str) -> None:
+        node = self.node
+        eview = self.evs.eview
+        if (
+            not node.alive
+            or eview is None
+            or joiner in self._caught_up_joiners
+            or joiner not in eview.view.members
+        ):
+            return
+        # _reconcile re-derives who still needs a session (and whether we
+        # are the one to serve it) with all its usual guards; a demotion
+        # or completed catch-up in the meantime makes this a no-op.
+        self._reconcile(eview, sync_gid=node.last_processed_gid)
+
     # ------------------------------------------------------------------
     def maybe_activate(self) -> None:
         # Under EVS the structural signal can arrive without a transfer
@@ -382,12 +412,21 @@ class EvsReconfigManager(BaseReconfigManager):
         self._creation_source = True
         eview = self.evs.eview
         assert eview is not None
-        self.svs_merges_issued += 1
-        self.node.trace(
-            "eview", "svs_merge_issued",
-            "creation source: merging every subview-set",
-        )
-        self.evs.subview_set_merge(tuple(sorted(eview.subview_sets(), key=str)))
+        svs_ids = tuple(sorted(eview.subview_sets(), key=str))
+        if len(svs_ids) >= 2:
+            self.svs_merges_issued += 1
+            self.node.trace(
+                "eview", "svs_merge_issued",
+                "creation source: merging every subview-set",
+            )
+            self.evs.subview_set_merge(svs_ids)
+        else:
+            # Already a single subview-set (the view change itself can
+            # pre-merge the structure): the merge request would be a
+            # silent no-op at delivery and the e-view change it normally
+            # triggers never happens, so reconcile directly to start the
+            # companion transfers.
+            self._reconcile(eview, sync_gid=gseq)
 
     def on_activated(self) -> None:
         pass

@@ -85,6 +85,10 @@ class BaseReconfigManager:
         # round was interrupted (or that was the source in an *earlier*
         # total-failure episode) would never contribute its report again.
         self._creation_view: Optional[object] = None
+        # Sites whose reports the running round is collecting (the
+        # creation view's members; the whole universe when delivery is
+        # not uniform — see check_creation).
+        self._creation_members: Optional[frozenset] = None
 
         # Joiner-side stall watchdog (transfer hardening): time
         # of the last inbound message for the current joiner session; a
@@ -142,6 +146,7 @@ class BaseReconfigManager:
         self._announced = False
         self._creation_started = False
         self._creation_view = None
+        self._creation_members = None
         self._creation_reports = {}
 
     def note_partition_complete(self, partition: str, boundary_gid: int) -> None:
@@ -180,6 +185,7 @@ class BaseReconfigManager:
         self._creation_reports = {}
         self._creation_started = False
         self._creation_view = None
+        self._creation_members = None
 
     # ------------------------------------------------------------------
     # Joiner side: message enqueueing and replay (section 4.2)
@@ -219,7 +225,8 @@ class BaseReconfigManager:
         # is complete, and any local entry it lacks was decided outside
         # the new primary lineage (a phantom or a rolled-back in-flight
         # delivery) and must not survive the rejoin.
-        db.outcomes.reset_to(msg.outcomes)
+        if not self.node.outcome_merge_disabled:
+            db.outcomes.reset_to(msg.outcomes)
         # Persist the transferred state before moving the baseline, so a
         # crash right after recovers to a consistent (state, cover) pair.
         db.checkpoint()
@@ -310,6 +317,17 @@ class BaseReconfigManager:
             self.enqueue_mode = False
             self.node._become_active()
             self.on_activated()
+
+    def replay_pending(self) -> bool:
+        """True while enqueued transaction messages have not been replayed.
+
+        EVS structural up-to-dateness (primary-subview membership) must
+        not outrank this: a joiner carried into the primary subview with
+        an undrained replay queue is *structurally* current but *data*
+        stale until the queue empties — treating it as up to date would
+        silently skip the enqueued tail.
+        """
+        return self.replaying or bool(self.enqueued)
 
     def on_activated(self) -> None:
         """Hook: the node just became an up-to-date processing member."""
@@ -455,7 +473,14 @@ class BaseReconfigManager:
                 return
             current = self.joiner_session
             if current is not None and current.session_id == payload.session_id:
-                current.accept()  # duplicate offer (retry): re-accept
+                if not current.complete:
+                    current.accept()  # duplicate offer (retry): re-accept
+                return
+            if current is not None and payload.created_at <= current.offer_time:
+                # A duplicated or reordered offer from a *superseded*
+                # session: its peer session is long gone, so accepting
+                # would cancel the current (possibly completed) session
+                # in favour of one that can never finish.
                 return
             if current is not None:
                 current.cancel()
@@ -546,15 +571,30 @@ class BaseReconfigManager:
     # Creation protocol (section 3)
     # ------------------------------------------------------------------
     def check_creation(self, view: View) -> None:
-        """In a primary view with no up-to-date member, once *all* sites
-        are present, compare all logs (the paper's argument for why a
-        majority is not enough)."""
-        if set(view.members) != set(self.node.member.universe):
+        """In a primary view with no up-to-date member, compare the
+        surviving logs to elect the most current site (section 3).
+
+        With uniform (safe) delivery the logs of any *primary* view
+        suffice: no site can process — let alone expose — a transaction
+        before every member of the delivering view holds it, so a
+        majority's logs jointly cover every transaction any site ever
+        processed.  Without uniformity a minority site may have
+        processed ahead of the stability horizon, and only comparing
+        *all* logs is safe (the paper's argument for why a majority is
+        not enough).  Waiting for the full universe is exactly what a
+        flapping straggler starves: the suspended majority would sit
+        dark until the one absent site happens to be reachable."""
+        members = frozenset(view.members)
+        if self.node.config.creation_majority and self.node.member.config.uniform:
+            if not view.is_primary(len(self.node.member.universe)):
+                return
+        elif members != set(self.node.member.universe):
             return
         if self._creation_started and self._creation_view == view.view_id:
             return
         self._creation_started = True
         self._creation_view = view.view_id
+        self._creation_members = members
         self._creation_reports = {}
         db = self.node.db
         cover = db.cover_gid()
@@ -569,7 +609,9 @@ class BaseReconfigManager:
 
     def on_creation_report(self, report: CreationReport, gseq: int) -> None:
         self._creation_reports[report.site] = report
-        if set(self._creation_reports) != set(self.node.member.universe):
+        if self._creation_members is None:
+            return
+        if set(self._creation_reports) != self._creation_members:
             return
         reports = self._creation_reports
         source = min(reports.values(), key=lambda r: (-r.cover_gid, r.site)).site
@@ -577,6 +619,7 @@ class BaseReconfigManager:
             self._creation_reports = {}
             self._creation_started = False
             self._creation_view = None
+            self._creation_members = None
             return
         # I am the source: apply every committed transaction above my
         # cover found in any log, in gid order.
@@ -647,6 +690,7 @@ class VsReconfigManager(BaseReconfigManager):
             self.activation_authorized = False
             self._creation_started = False
             self._creation_view = None
+            self._creation_members = None
             self._creation_reports = {}
             return
 

@@ -47,3 +47,26 @@ class TransferStrategy:
     @staticmethod
     def effective_cover(accept: "TransferAccept") -> int:
         return NO_COVER if accept.needs_full else accept.cover_gid
+
+    @staticmethod
+    def stale_objects_since(session: "PeerTransferSession", cover_gid: int):
+        """Objects a joiner covered through ``cover_gid`` must receive.
+
+        Answers from the RecTable when it is still complete for that
+        cover.  When garbage collection has purged records above the
+        joiner's cover — possible when a stabilization start regresses a
+        site's cover below an earlier announcement, breaking the
+        monotonicity section 4.5's GC rule relies on — the table would
+        silently under-report, so fall back to scanning the store's
+        version tags, which always name the last committed writer.
+        """
+        db = session.db
+        rectable = db.rectable
+        rectable.ensure_current()
+        if rectable.can_answer(cover_gid):
+            return sorted(
+                obj for obj in rectable.changed_since(cover_gid) if obj in db.store
+            )
+        return sorted(
+            obj for obj in db.store.objects() if db.store.version(obj) > cover_gid
+        )

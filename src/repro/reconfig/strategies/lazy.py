@@ -74,8 +74,6 @@ class LazyTransferStrategy(TransferStrategy):
         if not session.active:
             return
         state = session.strategy_state
-        rectable = session.db.rectable
-        rectable.ensure_current()
         threshold, max_rounds = self._thresholds(session)
         partition_count = session.node.config.partition_count
         if state["round"] == 1 and partition_count > 0:
@@ -87,11 +85,7 @@ class LazyTransferStrategy(TransferStrategy):
         if state["needs_full"] and state["round"] == 1:
             transfer_set = sorted(session.db.store.objects())
         else:
-            transfer_set = sorted(
-                obj
-                for obj in rectable.changed_since(state["boundary_prev"])
-                if obj in session.db.store
-            )
+            transfer_set = self.stale_objects_since(session, state["boundary_prev"])
         # Termination checks I and II (section 4.7): enter the last,
         # synchronized round when the residual set is small enough or
         # the round budget is exhausted.
@@ -130,12 +124,7 @@ class LazyTransferStrategy(TransferStrategy):
         if state["needs_full"] and boundary == NO_COVER:
             candidates = session.db.store.objects()
         else:
-            rectable = session.db.rectable
-            rectable.ensure_current()
-            candidates = (
-                obj for obj in rectable.changed_since(boundary)
-                if obj in session.db.store
-            )
+            candidates = self.stale_objects_since(session, boundary)
         for obj in sorted(candidates):
             if partition_of(obj, partition_count) != partition:
                 continue
@@ -183,13 +172,7 @@ class LazyTransferStrategy(TransferStrategy):
         if not session.active:
             return
         state = session.strategy_state
-        rectable = session.db.rectable
-        rectable.ensure_current()
-        transfer_set = sorted(
-            obj
-            for obj in rectable.changed_since(state["boundary_prev"])
-            if obj in session.db.store
-        )
+        transfer_set = self.stale_objects_since(session, state["boundary_prev"])
         state["remaining"] = len(transfer_set)
         for obj in transfer_set:
             session.db.locks.request(

@@ -52,16 +52,10 @@ class RecTableStrategy(TransferStrategy):
             return
         state = session.strategy_state
         accept = state["accept"]
-        rectable = session.db.rectable
-        rectable.ensure_current()
         if accept.needs_full:
             transfer_set = sorted(session.db.store.objects())
         else:
-            transfer_set = sorted(
-                obj
-                for obj in rectable.changed_since(accept.cover_gid)
-                if obj in session.db.store
-            )
+            transfer_set = self.stale_objects_since(session, accept.cover_gid)
         state["remaining"] = len(transfer_set)
         # Downgrade: fine-grained locks inherit the database lock's queue
         # position, then the database lock is released (section 4.5).

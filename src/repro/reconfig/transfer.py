@@ -73,6 +73,13 @@ class TransferOffer:
     peer: str
     strategy: str
     sync_gid: int  # transfer covers transactions with gid <= sync_gid (eager)
+    #: Session creation time at the peer (shared simulation clock).  The
+    #: transfer channel is not FIFO under fault injection: a duplicated
+    #: or reordered offer from a *superseded* session can arrive after a
+    #: newer session already completed, and without an ordering key the
+    #: joiner would tear down the fresh state for a peer that no longer
+    #: answers.  Offers not newer than the current session are ignored.
+    created_at: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -296,13 +303,19 @@ class PeerTransferSession:
                 peer=self.node.site_id,
                 strategy=self.strategy.name,
                 sync_gid=self.sync_gid,
+                created_at=self.started_at,
             ),
         )
         if self._offer_attempts <= self.OFFER_FAST_ATTEMPTS:
             delay = self.OFFER_RETRY
         else:
-            exponent = self._offer_attempts - self.OFFER_FAST_ATTEMPTS - 1
-            delay = config.transfer_ack_timeout * (config.transfer_retry_backoff ** exponent)
+            # Constant cadence, no exponential growth: the offer is a
+            # tiny idempotent handshake, and an exponentially backed-off
+            # sender aliases against the heal windows of a flapping link
+            # and can miss every single one — while the whole cluster
+            # may be suspended waiting for exactly this transfer (a
+            # creation companion).  The attempt budget still bounds it.
+            delay = config.transfer_ack_timeout
         self.node.proc.after(delay, self._send_offer)
 
     # ------------------------------------------------------------------
@@ -401,7 +414,13 @@ class PeerTransferSession:
         self.db.locks.release(self.owner, obj)
 
     def release_all_locks(self) -> None:
-        self.db.locks.release(self.owner)
+        # cancel(), not release(): a session torn down while one of its
+        # lock requests is still queued (e.g. the joiner died before
+        # accepting and the database lock was contended) must also drop
+        # that waiting request — otherwise it is granted to the dead
+        # session later and the database lock is held forever, freezing
+        # every writer on this site.
+        self.db.locks.cancel(self.owner)
 
     def queue_item(self, obj: str, value: Any, version: int, release_after_ack: bool = False) -> None:
         """Queue one object for transfer; optionally keep its lock until
@@ -580,6 +599,7 @@ class JoinerTransferSession:
         self.peer = offer.peer
         self.strategy_name = offer.strategy
         self.sync_gid = offer.sync_gid
+        self.offer_time = offer.created_at
         self.resume_through = resume_through
         self.done_partitions: Dict[str, int] = dict(done_partitions or {})
         self.active = True

@@ -110,6 +110,15 @@ class NodeConfig:
     #: this long is cancelled and re-solicited from a different peer.
     transfer_stall_timeout: float = 1.0
     object_size_bytes: int = 256
+    #: Let the creation protocol run from any *primary* (majority) view
+    #: instead of waiting for the full universe (the paper's section 3
+    #: rule).  Only honoured under uniform (safe) delivery, where no site
+    #: can process a transaction before every member of the delivering
+    #: view holds it, so a majority's logs jointly cover everything any
+    #: site ever processed.  Off by default: the all-sites rule is the
+    #: paper's documented behaviour; endurance runs enable this so a
+    #: flapping straggler cannot starve a suspended majority.
+    creation_majority: bool = False
     checkpoint_interval: float = 1.0
     #: Truncate the WAL prefix the checkpoint image subsumes (bounded log
     #: growth).  Safe under uniform delivery; leave off with plain
@@ -255,6 +264,11 @@ class ReplicatedDatabaseNode:
         #: resubmitted requests re-execute — check_exactly_once must catch
         #: the resulting double commits, proving it non-vacuous.
         self.dedup_disabled = False
+        #: Sabotage hook (chaos --endurance --sabotage-outcome-merge):
+        #: skip adopting the peer's outcome table at transfer completion,
+        #: so a rejoining site replays with a stale dedup view — the
+        #: endurance sweeps must catch the resulting divergence.
+        self.outcome_merge_disabled = False
         self.enqueue_high_watermark = 0
         self.last_processed_gid = -1
 
@@ -491,6 +505,16 @@ class ReplicatedDatabaseNode:
             # primary subview <=> up to date (section 5.2).
             assert self.evs_member is not None
             self.up_to_date = self.evs_member.in_primary_subview()
+            if (
+                self.up_to_date
+                and self.reconfig is not None
+                and self.reconfig.replay_pending()
+            ):
+                # Structurally current, but the replay queue has not
+                # drained: acting up to date now would drop the enqueued
+                # transactions.  Stay a joiner; maybe_activate promotes
+                # once the replay finishes.
+                self.up_to_date = False
             self._handle_membership_change(eview.view, states, eview)
         elif self.status is not SiteStatus.DOWN:
             self._refresh_structural_utd(eview)

@@ -1,0 +1,195 @@
+"""Integration: the long-horizon endurance engine (repro.endurance).
+
+Pinned-seed regression tests: one run per churn-scenario family, the
+composed storm in both delivery modes, byte-stable payload digests, the
+availability floor, the sabotage self-test, and the audit/fleet/CLI
+wiring.  Seeds and durations are pinned — a failure here is a behaviour
+change, not flakiness.
+"""
+
+import pytest
+
+from repro.endurance import (
+    EnduranceConfig, EnduranceEngine, dump_artifacts, run_endurance,
+)
+from repro.replication.node import NodeConfig, SiteStatus
+from tests.conftest import quick_cluster, run_load
+
+
+class TestSegmentFamilies:
+    """Each scenario family passes on its own under a pinned seed."""
+
+    @pytest.mark.parametrize("family", ["rolling", "storm", "churn",
+                                        "stabilize"])
+    def test_single_family_endurance(self, family):
+        report = run_endurance(0, duration=4.0, segments=(family,))
+        assert report.ok, report.error
+        assert report.sweeps >= 1
+
+    def test_storm_interrupts_transfers(self):
+        report = run_endurance(2, duration=6.0, segments=("storm",))
+        assert report.ok, report.error
+        assert report.partition_cycles >= 2
+
+    def test_stabilize_corrupts_and_recovers(self):
+        report = run_endurance(1, duration=6.0, segments=("stabilize",))
+        assert report.ok, report.error
+        assert report.stabilize_starts >= 1
+
+
+class TestComposedStorm:
+    @pytest.mark.parametrize("mode", ["vs", "evs"])
+    def test_composed_run_passes_with_availability(self, mode):
+        report = run_endurance(0, duration=6.0, mode=mode)
+        assert report.ok, report.error
+        assert report.sweeps >= 2
+        # Availability never zero across the run: some serving bin in
+        # every window is the checker's job; here assert the aggregate.
+        avail = report.availability()
+        assert avail["bins"] > 0
+        assert avail["mean_rate"] > 0
+
+    @pytest.mark.parametrize("mode", ["vs", "evs"])
+    def test_payload_digests_are_byte_stable(self, mode):
+        payloads = [run_endurance(0, duration=5.0, mode=mode).payload()
+                    for _ in range(2)]
+        assert payloads[0] == payloads[1]
+        for key in ("schedule_digest", "trace_digest",
+                    "availability_digest"):
+            assert len(payloads[0][key]) == 64
+
+    def test_distinct_seeds_distinct_schedules(self):
+        a = run_endurance(0, duration=5.0).payload()
+        b = run_endurance(1, duration=5.0).payload()
+        assert a["schedule_digest"] != b["schedule_digest"]
+
+
+class TestSabotage:
+    def test_skipped_outcome_merge_fails_the_run(self):
+        """The sabotage hook proves the sweeps have teeth: a site that
+        silently drops the peer's outcome table must be caught."""
+        clean = run_endurance(0, duration=8.0)
+        assert clean.ok, clean.error
+        sabotaged = run_endurance(0, duration=8.0,
+                                  sabotage_outcome_merge=True)
+        assert not sabotaged.ok
+        assert sabotaged.error is not None
+
+
+class TestMajorityCreation:
+    def test_flag_defaults_off(self):
+        assert NodeConfig().creation_majority is False
+
+    def test_majority_view_creates_when_enabled(self):
+        """With creation_majority on (and uniform delivery), two of three
+        recovered sites suffice — the §3 all-sites wait is waived."""
+        cluster = quick_cluster(
+            db_size=30, node_config=NodeConfig(creation_majority=True))
+        run_load(cluster, duration=0.4)
+        for site in cluster.universe:
+            cluster.crash(site)
+        cluster.run_for(0.3)
+        cluster.recover("S1")
+        cluster.recover("S2")  # majority present, S3 still down
+        ok = cluster.await_condition(
+            lambda: all(cluster.nodes[s].status is SiteStatus.ACTIVE
+                        for s in ("S1", "S2")),
+            timeout=30,
+        )
+        assert ok, "majority view did not run the creation protocol"
+        cluster.recover("S3")
+        assert cluster.await_all_active(timeout=30)
+        cluster.settle(0.5)
+        cluster.check()
+
+
+class TestArtifacts:
+    def test_dump_writes_the_full_evidence_set(self, tmp_path):
+        engine = EnduranceEngine(EnduranceConfig(seed=0, duration=4.0))
+        engine.run()
+        written = dump_artifacts(engine, str(tmp_path))
+        names = {path.rsplit("/", 1)[-1] for path in written}
+        assert {"repro.txt", "schedule.txt", "availability.tsv",
+                "trace.txt", "metrics.txt"} <= names
+        assert {f"wal_S{i}.log" for i in range(1, 5)} <= names
+        repro_text = (tmp_path / "repro.txt").read_text()
+        assert "python -m repro chaos --endurance --seed 0" in repro_text
+        wal_text = (tmp_path / "wal_S1.log").read_text()
+        assert "durable prefix" in wal_text
+
+
+class TestWiring:
+    def test_audit_has_endurance_cases(self):
+        from repro import audit
+
+        endurance_ids = [cid for cid in audit.CASES
+                         if audit.CASES[cid].kind == "endurance"]
+        assert "endurance:vs:0" in endurance_ids
+        assert "endurance:evs:0" in endurance_ids
+
+    def test_audit_variant_replays_identically(self):
+        from repro import audit
+
+        a = audit.execute_variant("endurance:vs:0", "a", materials=False)
+        b = audit.execute_variant("endurance:vs:0", "b", materials=False)
+        assert a == b
+        assert a["counters"]["ok"] is True
+
+    def test_fleet_runs_seeds_in_order(self):
+        from repro.fleet import run_endurance_fleet
+
+        results = run_endurance_fleet([1, 0], duration=4.0,
+                                      segments=("rolling",))
+        assert list(results) == [1, 0]
+        assert all(payload["ok"] for payload in results.values())
+
+    def test_fleet_dumps_artifacts_on_failure(self, tmp_path):
+        from repro.fleet import run_endurance_fleet
+
+        results = run_endurance_fleet(
+            [0], duration=8.0, sabotage_outcome_merge=True,
+            artifacts_dir=str(tmp_path))
+        payload = results[0]
+        assert not payload["ok"]
+        assert payload["artifacts"], "failed worker left no evidence"
+        assert any(path.endswith("repro.txt")
+                   for path in payload["artifacts"])
+
+
+class TestCli:
+    def test_endurance_single_run(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--endurance", "--seed", "0",
+                     "--duration", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "endurance seed=0: PASS" in out
+        assert "availability timeline" in out
+        assert "availability floor held" in out
+
+    def test_endurance_failure_dumps_artifacts(self, capsys, tmp_path):
+        from repro.cli import main
+
+        code = main(["chaos", "--endurance", "--seed", "0",
+                     "--duration", "8", "--sabotage-outcome-merge",
+                     "--artifacts-dir", str(tmp_path)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "FAILURE" in err
+        assert "reproduce: PYTHONPATH=src python -m repro chaos" in err
+        assert (tmp_path / "seed0-vs" / "schedule.txt").exists()
+
+    def test_endurance_fleet_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--endurance", "--seeds", "0,1",
+                     "--duration", "4", "--segments", "rolling"]) == 0
+        out = capsys.readouterr().out
+        assert "schedule digest" in out
+        assert "2 endurance runs" in out
+
+    def test_bad_segment_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["chaos", "--endurance", "--segments", "bogus"]) == 2
+        assert "unknown segment" in capsys.readouterr().err
