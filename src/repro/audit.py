@@ -134,6 +134,20 @@ def _build_cases() -> Dict[str, AuditCase]:
                                kind="endurance",
                                params={"seed": seed, "mode": mode,
                                        "duration": 6.0}))
+    # The logless reconfiguration backend (config-as-replicated-state,
+    # docs/RECONFIG_BACKENDS.md): one pinned chaos storm and one
+    # endurance churn run must replay byte-for-byte, like the EVS ones.
+    # The variant-"b" sabotage hook (REPRO_AUDIT_SABOTAGE) perturbs the
+    # seed for these kinds too, so the non-vacuity self-test covers them.
+    cases.append(AuditCase(case_id="backend:logless:chaos", kind="chaos",
+                           params={"seed": 9, "backend": "logless",
+                                   "intensity": 0.5, "n_sites": 4,
+                                   "db_size": 40, "duration": 1.5,
+                                   "arrival_rate": 60.0}))
+    cases.append(AuditCase(case_id="backend:logless:endurance",
+                           kind="endurance",
+                           params={"seed": 0, "backend": "logless",
+                                   "duration": 6.0}))
     return {case.case_id: case for case in cases}
 
 

@@ -13,6 +13,8 @@ Usage::
     python -m repro chaos --endurance --seeds 0..3 --jobs 4   # endurance fleet
     python -m repro bench --jobs 4                   # pinned benchmark matrix
     python -m repro sweep --study db_size --jobs 4   # parameter-study grid
+    python -m repro sweep --study E7                 # backend head-to-head
+    python -m repro diff --seeds 9,23 --jobs 2       # cross-backend differential
     python -m repro audit --jobs 4                   # determinism audit
     python -m repro report --out-dir obs_out         # observed run + artifacts
 
@@ -31,6 +33,7 @@ from typing import List, Optional
 
 from repro import ClusterBuilder, LoadGenerator, WorkloadConfig
 from repro.bench import SCENARIOS as BENCH_SCENARIOS
+from repro.reconfig.backends import ALL_BACKEND_NAMES
 from repro.reconfig.strategies import ALL_STRATEGY_NAMES
 from repro.replication.node import SiteStatus
 from repro.scenarios import run_figure1_scenario, run_recovery_experiment
@@ -40,7 +43,7 @@ from repro.tracing import attach_tracer
 def _cmd_demo(args: argparse.Namespace) -> int:
     cluster = ClusterBuilder(n_sites=args.sites, db_size=args.db_size,
                              seed=args.seed, strategy=args.strategy,
-                             mode=args.mode).build()
+                             mode=args.mode, backend=args.backend).build()
     cluster.start()
     if not cluster.await_all_active(timeout=15):
         print("bootstrap failed", file=sys.stderr)
@@ -52,7 +55,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     cluster.settle(0.5)
     cluster.check()
     print(f"sites: {args.sites}  db: {args.db_size} objects  "
-          f"strategy: {args.strategy}  mode: {args.mode}")
+          f"strategy: {args.strategy}  backend: {cluster.backend_name}")
     print(f"ran {args.duration}s at {args.rate} txn/s: "
           f"{len(load.committed())} commits, {len(load.aborted())} aborts, "
           f"abort rate {load.abort_rate():.1%}")
@@ -78,6 +81,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     report = run_recovery_experiment(
         strategy=args.strategy, mode=args.mode, db_size=args.db_size,
         downtime=args.downtime, arrival_rate=args.rate, seed=args.seed,
+        backend=args.backend,
     )
     print(f"strategy={report.strategy} mode={report.mode} "
           f"db={args.db_size} downtime={args.downtime}s rate={args.rate}/s")
@@ -91,7 +95,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
     report = run_figure1_scenario(mode=args.mode, strategy=args.strategy,
-                                  seed=args.seed)
+                                  seed=args.seed, backend=args.backend)
     print(f"Figure-{'2 (EVS)' if args.mode == 'evs' else '1 (plain VS)'} "
           f"cascading scenario — strategy {args.strategy}")
     print(f"  completed:             {report.completed}")
@@ -110,7 +114,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     cluster = ClusterBuilder(n_sites=args.sites, db_size=args.db_size,
                              seed=args.seed, strategy=args.strategy,
-                             mode=args.mode).build()
+                             mode=args.mode, backend=args.backend).build()
     cluster.start()
     if not cluster.await_all_active(timeout=15):
         print("bootstrap failed", file=sys.stderr)
@@ -152,7 +156,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     # exercises every span category (txn, apply, recovery, transfer).
     cluster = ClusterBuilder(n_sites=args.sites, db_size=args.db_size,
                              seed=args.seed, strategy=args.strategy,
-                             mode=args.mode).build()
+                             mode=args.mode, backend=args.backend).build()
     obs = cluster.attach_observability()
     cluster.start()
     if not cluster.await_all_active(timeout=15):
@@ -202,6 +206,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     config = ChaosConfig(
         seed=args.seed, intensity=args.intensity, n_sites=args.sites,
         db_size=args.db_size, duration=args.duration or 3.0, mode=args.mode,
+        backend=args.backend,
         strategy=args.strategy, arrival_rate=args.rate, observe=observe,
         clients=args.clients, sabotage_dedup=args.sabotage_dedup,
     )
@@ -254,6 +259,7 @@ def _cmd_chaos_fleet(args: argparse.Namespace) -> int:
     results = run_chaos_fleet(
         seeds, jobs=args.jobs, intensity=args.intensity, n_sites=args.sites,
         db_size=args.db_size, duration=args.duration or 3.0, mode=args.mode,
+        backend=args.backend,
         strategy=args.strategy, arrival_rate=args.rate,
         clients=args.clients, sabotage_dedup=args.sabotage_dedup,
     )
@@ -299,6 +305,7 @@ def _endurance_config(args: argparse.Namespace):
     kwargs = dict(
         n_sites=args.sites, db_size=args.db_size,
         duration=args.duration or 12.0, mode=args.mode,
+        backend=args.backend,
         strategy=args.strategy, arrival_rate=args.rate,
         # Endurance is always client-driven; --clients 0 (the chaos
         # default) means "use the endurance default fleet size".
@@ -493,6 +500,42 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if outcome.ok else 1
 
 
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.differential import run_differential
+    from repro.fleet import parse_seed_spec
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    kind = "endurance" if args.endurance else "chaos"
+    overrides = {}
+    if args.duration is not None:
+        overrides["duration"] = args.duration
+    if kind == "chaos":
+        overrides["intensity"] = args.intensity
+        overrides["clients"] = args.clients
+    start = time.perf_counter()
+    try:
+        report = run_differential(seeds, backends=backends, kind=kind,
+                                  jobs=args.jobs, **overrides)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    wall = time.perf_counter() - start
+    print(report.render())
+    print(f"({wall:.1f}s wall at --jobs {args.jobs})")
+    if not report.ok:
+        first = report.seeds[0]
+        flag = "--endurance " if kind == "endurance" else ""
+        print("reproduce: "
+              f"python -m repro chaos {flag}--seed {first} "
+              f"--backend {report.backends[-1]}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro import bench
 
@@ -520,6 +563,9 @@ def build_parser() -> argparse.ArgumentParser:
     def common(p: argparse.ArgumentParser, strategy_default: str = "rectable") -> None:
         p.add_argument("--seed", type=int, default=7)
         p.add_argument("--mode", choices=("vs", "evs"), default="vs")
+        p.add_argument("--backend", choices=ALL_BACKEND_NAMES, default=None,
+                       help="reconfiguration backend; overrides --mode "
+                            "(docs/RECONFIG_BACKENDS.md)")
         p.add_argument("--strategy", choices=ALL_STRATEGY_NAMES,
                        default=strategy_default)
         p.add_argument("--db-size", type=int, default=200)
@@ -665,6 +711,33 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--list", action="store_true",
                        help="list the available studies and exit")
     sweep.set_defaults(fn=_cmd_sweep)
+
+    diff = sub.add_parser(
+        "diff",
+        help="differential runner: replay pinned fault storms on two "
+             "backends and diff the invariant verdicts",
+    )
+    diff.add_argument("--seeds", default="9,23", metavar="SPEC",
+                      help="seed spec: '9,23', '0..7' or a mix "
+                           "(default %(default)s)")
+    diff.add_argument("--backends", default="evs,logless", metavar="LIST",
+                      help="comma-separated backends to compare "
+                           f"(choices: {', '.join(ALL_BACKEND_NAMES)}; "
+                           "default %(default)s)")
+    diff.add_argument("--endurance", action="store_true",
+                      help="replay the long-horizon endurance churn "
+                           "schedule instead of the chaos storm")
+    diff.add_argument("--duration", type=float, default=None,
+                      help="storm length in virtual seconds "
+                           "(default 1.5, or 6.0 with --endurance)")
+    diff.add_argument("--intensity", type=float, default=0.5,
+                      help="chaos fault event rate scale (default %(default)s)")
+    diff.add_argument("--clients", type=int, default=6,
+                      help="closed-loop client sessions per chaos run, "
+                           "for exactly-once coverage (default %(default)s)")
+    diff.add_argument("--jobs", type=int, default=1,
+                      help="worker processes (default %(default)s)")
+    diff.set_defaults(fn=_cmd_diff)
 
     audit = sub.add_parser(
         "audit",

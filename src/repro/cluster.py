@@ -16,8 +16,7 @@ from repro.checkers import HistoryRecorder, run_all_checks
 from repro.gcs.config import GCSConfig
 from repro.net.latency import FixedLatency, LatencyModel
 from repro.net.network import Network
-from repro.reconfig.evs_manager import EvsReconfigManager
-from repro.reconfig.manager import VsReconfigManager
+from repro.reconfig.backends import ReconfigBackend, backend_by_name, resolve_backend
 from repro.reconfig.strategies import TransferStrategy, strategy_by_name
 from repro.replication.node import NodeConfig, ReplicatedDatabaseNode, SiteStatus
 from repro.replication.transaction import Transaction
@@ -78,12 +77,17 @@ class ClusterBuilder:
         initial_sites: Optional[Sequence[str]] = None,
         initial_value: Any = 0,
         batching: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         self.n_sites = n_sites
         self.db_size = db_size
         self.seed = seed
         self.strategy = strategy
         self.mode = mode
+        #: Reconfiguration backend name (repro.reconfig.backends).  When
+        #: None the legacy ``mode`` selects the backend ("vs"/"evs"),
+        #: keeping all pre-backend call sites byte-identical.
+        self.backend = backend
         self.gcs_config = gcs_config
         self.node_config = node_config
         self.latency = latency or FixedLatency(0.001)
@@ -120,11 +124,13 @@ class ClusterBuilder:
             gcs_config = replace(gcs_config or GCSConfig(), sequencer_batching=False)
             node_config = replace(node_config or NodeConfig(), batch_writes=False)
 
+        backend = resolve_backend(self.mode, self.backend)
         history = HistoryRecorder(clock=lambda: sim.now)
         cluster = Cluster(sim, network, {}, history, strategy, initial_db)
         cluster._gcs_config = gcs_config
         cluster._node_config = node_config
-        cluster._mode = self.mode
+        cluster._mode = backend.gcs_mode
+        cluster._backend = backend
         for site in universe:
             cluster._make_node(site, universe, has_initial_copy=site in initial_sites)
         cluster.universe = tuple(sorted(cluster.nodes))
@@ -154,6 +160,7 @@ class Cluster:
         self._gcs_config: Optional[GCSConfig] = None
         self._node_config = None
         self._mode = "vs"
+        self._backend: ReconfigBackend = backend_by_name("vs")
         #: Observability handle (repro.obs.Observability), set by
         #: :meth:`attach_observability`.  None = no instrumentation cost.
         self.obs = None
@@ -167,6 +174,11 @@ class Cluster:
         from repro.obs import attach_observability
 
         return attach_observability(self)
+
+    @property
+    def backend_name(self) -> str:
+        """Registry name of the reconfiguration backend in use."""
+        return self._backend.name
 
     # ------------------------------------------------------------------
     # Node construction (used by the builder and by add_site)
@@ -183,10 +195,7 @@ class Cluster:
             has_initial_copy=has_initial_copy,
             initial_db=self.initial_db,
         )
-        if self._mode == "evs":
-            node.configure_reconfig(EvsReconfigManager(node, self.strategy))
-        else:
-            node.configure_reconfig(VsReconfigManager(node, self.strategy))
+        node.configure_reconfig(self._backend.make_manager(node, self.strategy))
         node.on_txn_event = self.history.record
         self.nodes[site] = node
         return node

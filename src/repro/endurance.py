@@ -57,6 +57,9 @@ class EnduranceConfig:
     db_size: int = 40
     duration: float = 12.0
     mode: str = "vs"
+    #: Reconfiguration backend (repro.reconfig.backends); None lets the
+    #: legacy ``mode`` select it ("vs"/"evs").
+    backend: Optional[str] = None
     strategy: str = "rectable"
     arrival_rate: float = 60.0
     #: Closed-loop client sessions; endurance is always client-driven
@@ -95,6 +98,10 @@ class EnduranceConfig:
             raise ValueError("duration must be positive")
         if self.mode not in ("vs", "evs"):
             raise ValueError(f"mode must be 'vs' or 'evs', got {self.mode!r}")
+        if self.backend is not None:
+            from repro.reconfig.backends import backend_by_name
+
+            backend_by_name(self.backend)  # raises on unknown names
         if self.clients < 1:
             raise ValueError("endurance is client-driven: clients must be >= 1")
         if not self.segments:
@@ -278,6 +285,7 @@ class EnduranceEngine:
             seed=config.seed,
             strategy=config.strategy,
             mode=config.mode,
+            backend=config.backend,
             batching=config.batching,
             # A flapping straggler must not starve a suspended majority:
             # allow creation from any primary view (uniform delivery).
@@ -452,6 +460,10 @@ def repro_command(config: EnduranceConfig) -> str:
     """The minimal CLI invocation that replays this exact run."""
     parts = ["PYTHONPATH=src python -m repro chaos --endurance",
              f"--seed {config.seed}", f"--mode {config.mode}"]
+    if config.backend is not None:
+        parts.append(f"--backend {config.backend}")
+    if config.strategy != EnduranceConfig.strategy:
+        parts.append(f"--strategy {config.strategy}")
     if config.segments != EnduranceConfig.segments:
         parts.append("--segments " + ",".join(config.segments))
     if config.duration != EnduranceConfig.duration:

@@ -53,6 +53,9 @@ class ChaosConfig:
     db_size: int = 40
     duration: float = 3.0
     mode: str = "vs"
+    #: Reconfiguration backend (repro.reconfig.backends); None lets the
+    #: legacy ``mode`` select it ("vs"/"evs").
+    backend: Optional[str] = None
     strategy: str = "rectable"
     arrival_rate: float = 60.0
     enable_duplication: bool = True
@@ -90,6 +93,10 @@ class ChaosConfig:
             raise ValueError("duration must be positive")
         if self.mode not in ("vs", "evs"):
             raise ValueError(f"mode must be 'vs' or 'evs', got {self.mode!r}")
+        if self.backend is not None:
+            from repro.reconfig.backends import backend_by_name
+
+            backend_by_name(self.backend)  # raises on unknown names
         if not 0 <= self.min_alive <= self.n_sites:
             raise ValueError("min_alive must be in [0, n_sites]")
         if self.quiesce_timeout <= 0:
@@ -225,6 +232,7 @@ class ChaosEngine:
             seed=config.seed,
             strategy=config.strategy,
             mode=config.mode,
+            backend=config.backend,
             batching=config.batching,
         ).build()
         self.cluster = cluster

@@ -302,6 +302,14 @@ def _build_sweeps() -> Dict[str, SweepStudy]:
         for strategy in ("full", "log_filter")
         for reads, writes in ((4, 0), (3, 1), (2, 2), (0, 4))
     ])
+    backends = _grid([
+        (f"{backend}/storm={storm}",
+         {"backend": backend, "fault_storm": storm, "n_sites": 5,
+          "db_size": 300, "downtime": 0.8, "arrival_rate": 120.0,
+          "seed": 23})
+        for backend in ("vs", "evs", "logless")
+        for storm in ("none", "partition")
+    ])
     studies = [
         SweepStudy(
             name="db_size",
@@ -329,6 +337,14 @@ def _build_sweeps() -> Dict[str, SweepStudy]:
             grid=rw_ratio,
             columns=("completed", "extra.objects_sent", "extra.lock_wait_total",
                      "extra.mean_latency"),
+        ),
+        SweepStudy(
+            name="E7",
+            title="E7 — reconfiguration backends head-to-head "
+                  "(identical pinned fault storms, db=300, downtime 0.8s)",
+            grid=backends,
+            columns=("completed", "extra.recovery_time", "extra.bytes_sent",
+                     "extra.abort_rate"),
         ),
     ]
     return {study.name: study for study in studies}

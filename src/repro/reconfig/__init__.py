@@ -15,10 +15,24 @@ strategies) and section 5 (cascading reconfigurations) of the paper:
   and the creation protocol after a total failure (section 3);
 * :mod:`repro.reconfig.evs_manager` — the EVS-based manager implementing
   the rules of section 5.2 (Subview-SetMerge starts the transfer,
-  SubviewMerge is the final synchronization point).
+  SubviewMerge is the final synchronization point);
+* :mod:`repro.reconfig.logless` — an alternative backend that keeps the
+  member configuration as replicated state in the total-order stream
+  (versioned config object, compare-and-swap apply rule) instead of
+  membership log entries;
+* :mod:`repro.reconfig.backends` — the registry the cluster builder,
+  CLI and conformance harness select backends from
+  (docs/RECONFIG_BACKENDS.md).
 """
 
+from repro.reconfig.backends import (
+    ALL_BACKEND_NAMES,
+    ReconfigBackend,
+    backend_by_name,
+    resolve_backend,
+)
 from repro.reconfig.evs_manager import EvsReconfigManager
+from repro.reconfig.logless import LoglessReconfigManager, ReplicatedConfig
 from repro.reconfig.manager import VsReconfigManager
 from repro.reconfig.strategies import (
     FullTransferStrategy,
@@ -32,14 +46,20 @@ from repro.reconfig.strategies import (
 )
 
 __all__ = [
+    "ALL_BACKEND_NAMES",
     "EvsReconfigManager",
     "FullTransferStrategy",
     "GcsLevelTransferStrategy",
     "LazyTransferStrategy",
     "LogFilterStrategy",
+    "LoglessReconfigManager",
     "RecTableStrategy",
+    "ReconfigBackend",
+    "ReplicatedConfig",
     "TransferStrategy",
     "VersionCheckStrategy",
     "VsReconfigManager",
+    "backend_by_name",
+    "resolve_backend",
     "strategy_by_name",
 ]

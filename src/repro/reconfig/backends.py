@@ -1,0 +1,131 @@
+"""Pluggable reconfiguration backends.
+
+A *backend* bundles the two decisions that together define how the
+cluster reconfigures itself online:
+
+* which GCS membership layer the node runs (``gcs_mode``): plain
+  virtual synchrony (``"vs"``) or Enriched View Synchrony (``"evs"``,
+  section 5.2 of the paper); and
+* which reconfiguration manager drives joins, transfer sessions,
+  activation, and the creation protocol on top of it.
+
+Three backends ship today:
+
+``vs``
+    The paper's section 5.1 baseline: plain virtual synchrony with
+    explicit ``UpToDateAnnouncement`` membership log entries.
+``evs``
+    The paper's section 5.2 protocol: up-to-dateness is structural
+    (primary-subview membership), announcements are replaced by subview
+    merges.
+``logless``
+    Logless reconfiguration in the style of MongoDB (arXiv:2102.11960):
+    the active configuration is replicated *state* — a versioned member
+    set written through the total-order stream via ``ConfigChange``
+    compare-and-swap messages — with no dedicated membership log
+    entries.  Joiners catch up via the ordinary transfer strategies and
+    activate when the config write that adds them is delivered.
+
+All three expose the same contract (see ``docs/RECONFIG_BACKENDS.md``):
+the manager returned by :meth:`ReconfigBackend.make_manager` is a
+:class:`repro.reconfig.manager.BaseReconfigManager`, and the full
+invariant battery (``repro.checkers.run_all_checks``) must hold on any
+of them under the conformance suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class ReconfigBackend:
+    """One named reconfiguration strategy: membership layer + manager."""
+
+    name: str
+    #: GCS membership layer the node instantiates: ``"vs"`` or ``"evs"``.
+    gcs_mode: str
+    #: ``(node, strategy) -> BaseReconfigManager``
+    manager_factory: Callable
+    description: str
+
+    def make_manager(self, node, strategy):
+        return self.manager_factory(node, strategy)
+
+
+def _vs_manager(node, strategy):
+    from repro.reconfig.manager import VsReconfigManager
+
+    return VsReconfigManager(node, strategy)
+
+
+def _evs_manager(node, strategy):
+    from repro.reconfig.evs_manager import EvsReconfigManager
+
+    return EvsReconfigManager(node, strategy)
+
+
+def _logless_manager(node, strategy):
+    from repro.reconfig.logless import LoglessReconfigManager
+
+    return LoglessReconfigManager(node, strategy)
+
+
+_REGISTRY = {
+    backend.name: backend
+    for backend in (
+        ReconfigBackend(
+            name="vs",
+            gcs_mode="vs",
+            manager_factory=_vs_manager,
+            description="plain virtual synchrony with explicit "
+            "up-to-date announcements (section 5.1)",
+        ),
+        ReconfigBackend(
+            name="evs",
+            gcs_mode="evs",
+            manager_factory=_evs_manager,
+            description="Enriched View Synchrony: structural "
+            "up-to-dateness via subview merges (section 5.2)",
+        ),
+        ReconfigBackend(
+            name="logless",
+            gcs_mode="vs",
+            manager_factory=_logless_manager,
+            description="logless reconfiguration: versioned config as "
+            "replicated state in the total-order stream "
+            "(arXiv:2102.11960)",
+        ),
+    )
+}
+
+ALL_BACKEND_NAMES = tuple(sorted(_REGISTRY))
+
+
+def backend_by_name(name: str) -> ReconfigBackend:
+    """Look up a backend from its registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def resolve_backend(mode: str, backend: Optional[str]) -> ReconfigBackend:
+    """Resolve the effective backend from a (mode, backend) pair.
+
+    ``backend`` wins when given; otherwise the legacy ``mode`` names the
+    backend directly ("vs" / "evs"), which keeps every pre-backend call
+    site byte-identical in behaviour.
+    """
+    return backend_by_name(backend if backend is not None else mode)
+
+
+__all__ = [
+    "ALL_BACKEND_NAMES",
+    "ReconfigBackend",
+    "backend_by_name",
+    "resolve_backend",
+]

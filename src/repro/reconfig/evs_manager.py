@@ -53,6 +53,8 @@ def elect_for(candidates, index: int) -> Optional[str]:
 class EvsReconfigManager(BaseReconfigManager):
     """Section 5.2's reconfiguration rules, driven by e-view changes."""
 
+    backend_name = "evs"
+
     def __init__(self, node: "ReplicatedDatabaseNode", strategy) -> None:
         super().__init__(node, strategy)
         self._pending_svs_merges: Set[SubviewId] = set()

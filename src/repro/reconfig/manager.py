@@ -56,7 +56,11 @@ def elect_peer(candidates: List[str], joiner: str, joiners: List[str]) -> Option
 
 
 class BaseReconfigManager:
-    """State and behaviour shared by the VS and EVS managers."""
+    """State and behaviour shared by all reconfiguration backends."""
+
+    #: Registry name of the backend this manager implements; overridden
+    #: by subclasses and surfaced in reports/metrics.
+    backend_name = "vs"
 
     def __init__(self, node: "ReplicatedDatabaseNode", strategy: TransferStrategy) -> None:
         self.node = node
@@ -662,6 +666,17 @@ class BaseReconfigManager:
 
     def on_eview_change(self, eview, reason: str, states, gseq=None) -> None:
         """EVS mode entry point."""
+
+    def on_config_message(self, payload, gseq: int) -> None:
+        """A :class:`ConfigChange` was delivered (logless backend only)."""
+
+    def flush_extra(self) -> Dict[str, Any]:
+        """Extra keys a backend contributes to the view-change flush
+        state (merged into the node's ``repl`` payload).  Must stay
+        empty for the vs/evs backends so their flushed states — and
+        therefore their audit digests — are byte-identical to the
+        pre-backend code."""
+        return {}
 
 
 class VsReconfigManager(BaseReconfigManager):

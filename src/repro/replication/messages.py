@@ -96,6 +96,31 @@ class CoverAnnouncement:
 
 
 @dataclass(frozen=True)
+class ConfigChange:
+    """Logless backend: a configuration write in the total-order stream.
+
+    The active configuration is replicated *state* — a member set plus a
+    version counter — not a dedicated membership log entry.  Every site
+    applies the change at delivery iff ``base_version`` equals its
+    current config version (a compare-and-swap resolved by the total
+    order); a mismatch means the proposal raced a concurrent change and
+    is discarded as stale, everywhere, deterministically.  ``replace``
+    (when not ``None``) installs the given member set wholesale — the
+    creation protocol uses it; otherwise the new member set is
+    ``(members - remove) | add``.
+    """
+
+    proposer: str
+    base_version: int
+    add: Tuple[str, ...] = ()
+    remove: Tuple[str, ...] = ()
+    replace: Optional[Tuple[str, ...]] = None
+    #: Human-readable provenance ("join", "repair", "creation") for
+    #: traces and tests; never consulted by the apply rule.
+    reason: str = ""
+
+
+@dataclass(frozen=True)
 class CreationReport:
     """One site's contribution to the creation protocol (section 3).
 

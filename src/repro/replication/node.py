@@ -40,6 +40,7 @@ from repro.gcs.member import GroupMember
 from repro.gcs.view import View
 from repro.net.network import Network
 from repro.replication.messages import (
+    ConfigChange,
     CoverAnnouncement,
     CreationReport,
     TransactionMessage,
@@ -130,6 +131,11 @@ class NodeConfig:
     cover_announce_interval: float = 0.5
     lazy_round_threshold: int = 20  # last-round trigger (section 4.7)
     lazy_max_rounds: int = 5
+    #: Logless backend: maximum add-self config proposals per join
+    #: attempt.  A lost compare-and-swap race re-proposes against the
+    #: new version; the limit bounds proposal storms under heavy churn
+    #: (the join then restarts from the next view change).
+    logless_repropose_limit: int = 16
 
     def validate(self) -> None:
         if self.protocol not in ("certification", "conservative"):
@@ -156,6 +162,8 @@ class NodeConfig:
             raise ValueError("partition_count must be non-negative")
         if self.lazy_max_rounds < 1:
             raise ValueError("lazy_max_rounds must be at least 1")
+        if self.logless_repropose_limit < 1:
+            raise ValueError("logless_repropose_limit must be at least 1")
 
 
 @dataclass
@@ -441,7 +449,12 @@ class ReplicatedDatabaseNode:
     # GCS application callbacks
     # ------------------------------------------------------------------
     def flush_state(self) -> Dict[str, Any]:
-        return {"repl": {"utd": self.up_to_date, "cover": self.db.cover_gid()}}
+        repl = {"utd": self.up_to_date, "cover": self.db.cover_gid()}
+        if self.reconfig is not None:
+            # Backend-specific flush keys (empty for vs/evs, so their
+            # flushed states stay byte-identical to the pre-backend code).
+            repl.update(self.reconfig.flush_extra())
+        return {"repl": repl}
 
     def on_message(self, sender: str, payload: Any, gseq: int) -> None:
         if self.status in (SiteStatus.DOWN, SiteStatus.STALLED):
@@ -457,6 +470,16 @@ class ReplicatedDatabaseNode:
                     self._serial_advance()
                 else:
                     self.process_delivered(gseq, payload)
+            return
+        if isinstance(payload, ConfigChange):
+            # Logless backend: a config write in the total-order stream.
+            # Recorded as a no-op exactly like an announcement so the gid
+            # stream stays aligned; the apply rule lives in the manager.
+            if self.status is SiteStatus.ACTIVE:
+                self.db.log_noop(gseq)
+                self.last_processed_gid = gseq
+            if self.reconfig is not None:
+                self.reconfig.on_config_message(payload, gseq)
             return
         if isinstance(payload, (UpToDateAnnouncement, CoverAnnouncement, CreationReport)):
             if self.status is SiteStatus.ACTIVE:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
-from repro.cluster import Cluster, ClusterBuilder
+from repro.cluster import Cluster, ClusterBuilder, FaultSchedule
 from repro.replication.node import NodeConfig, SiteStatus
 from repro.workload.generator import LoadGenerator, WorkloadConfig
 from repro.workload.metrics import ThroughputTimeline, summarize_latencies
@@ -137,6 +137,7 @@ def run_figure1_scenario(
     arrival_rate: float = 80.0,
     check: bool = True,
     batching: bool = True,
+    backend: Optional[str] = None,
 ) -> ScenarioReport:
     """The cascading reconfiguration of Figure 1 (and, in EVS mode, the
     encapsulated equivalent of Figure 2) on five sites:
@@ -151,7 +152,7 @@ def run_figure1_scenario(
     node_config = NodeConfig(transfer_obj_time=0.002, transfer_batch_size=25)
     cluster = ClusterBuilder(
         n_sites=5, db_size=db_size, seed=seed, strategy=strategy, mode=mode,
-        node_config=node_config, batching=batching,
+        node_config=node_config, batching=batching, backend=backend,
     ).build()
     cluster.start()
     if not cluster.await_all_active(timeout=15):
@@ -200,7 +201,9 @@ def run_figure1_scenario(
     completed = ok_s5 and ok_all
     if check:
         cluster.check()
-    report = _collect_report(cluster, load, mode, strategy, completed)
+    report = _collect_report(
+        cluster, load, cluster.backend_name if backend is not None else mode,
+        strategy, completed)
     report.notes.append(f"first peer was {peer}")
     return report
 
@@ -219,17 +222,29 @@ def run_recovery_experiment(
     rejoin_timeout: float = 60.0,
     check: bool = True,
     batching: bool = True,
+    backend: Optional[str] = None,
+    fault_storm: str = "none",
 ) -> ScenarioReport:
     """One site crashes, stays down for ``downtime``, recovers, rejoins.
 
     This is the parameterised experiment behind benchmarks E3-E7: the
     sweep dimensions (database size, throughput, read/write ratio,
-    downtime -> update fraction) are all arguments.
+    downtime -> update fraction, reconfiguration backend) are all
+    arguments.  ``fault_storm="partition"`` adds a *pinned* storm on top
+    of the crash: a bystander site is partitioned away while the victim
+    is still down and healed mid-rejoin, at fixed virtual times — the
+    same storm byte-for-byte regardless of backend, which is what makes
+    the E7 head-to-head comparison fair.
     """
+    if fault_storm not in ("none", "partition"):
+        raise ValueError(f"unknown fault_storm {fault_storm!r}")
+    if fault_storm == "partition" and n_sites < 5:
+        raise ValueError("fault_storm='partition' needs n_sites >= 5 "
+                         "(a majority must survive victim + bystander out)")
     node_config = node_config or NodeConfig(transfer_obj_time=0.0005)
     cluster = ClusterBuilder(
         n_sites=n_sites, db_size=db_size, seed=seed, strategy=strategy, mode=mode,
-        node_config=node_config, batching=batching,
+        node_config=node_config, batching=batching, backend=backend,
     ).build()
     cluster.start()
     if not cluster.await_all_active(timeout=15):
@@ -247,6 +262,16 @@ def run_recovery_experiment(
 
     victim = f"S{n_sites}"
     cluster.crash(victim)
+    if fault_storm == "partition":
+        bystander = f"S{n_sites - 1}"
+        majority = [s for s in cluster.universe
+                    if s not in (bystander,)]
+        now = cluster.sim.now
+        cluster.apply_fault_schedule(
+            FaultSchedule()
+            .partition(now + downtime * 0.5, [majority, [bystander]])
+            .heal(now + downtime + 0.3)
+        )
     cluster.run_for(downtime)
     recover_at = cluster.sim.now
     cluster.recover(victim)
@@ -259,7 +284,11 @@ def run_recovery_experiment(
     if check:
         cluster.check()
 
-    report = _collect_report(cluster, load, mode, strategy, rejoined)
+    # When a backend is selected explicitly, the report's mode column
+    # names it (the legacy mode string would misreport logless as "vs").
+    report = _collect_report(
+        cluster, load, cluster.backend_name if backend is not None else mode,
+        strategy, rejoined)
     node = cluster.nodes[victim]
     objects_sent = sum(n.reconfig.objects_sent_total for n in cluster.nodes.values())
     bytes_sent = sum(n.reconfig.bytes_sent_total for n in cluster.nodes.values())
@@ -278,6 +307,10 @@ def run_recovery_experiment(
             "p95_latency": latency.p95,
             "lock_wait_total": sum(
                 sum(other.db.locks.wait_times) for other in cluster.nodes.values()
+            ),
+            "abort_rate": (
+                report.aborts / (report.commits + report.aborts)
+                if report.commits + report.aborts else 0.0
             ),
         }
     )

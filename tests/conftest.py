@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import ClusterBuilder, LoadGenerator, NodeConfig, WorkloadConfig
@@ -64,6 +66,31 @@ def settle_group(sim, until: float = 2.0) -> None:
 @pytest.fixture
 def small_group():
     return make_group(3)
+
+
+def _backend_params():
+    """Backends the conformance suites run against.
+
+    Default is both non-default backends (``vs`` is exercised by the
+    unparameterised bulk of the suite); setting ``REPRO_BACKEND`` pins a
+    single backend — the CI backend-matrix job uses this to split the
+    conformance runs across jobs.
+    """
+    forced = os.environ.get("REPRO_BACKEND")
+    if forced:
+        return (forced,)
+    return ("evs", "logless")
+
+
+@pytest.fixture(params=_backend_params())
+def backend(request):
+    """Parameterises a test over reconfiguration backends (the
+    cross-backend conformance harness — docs/RECONFIG_BACKENDS.md).
+
+    Tests take ``backend`` and pass it to :func:`quick_cluster` /
+    ``ClusterBuilder``; every backend must satisfy the same protocol
+    semantics."""
+    return request.param
 
 
 def quick_cluster(**kwargs):

@@ -39,6 +39,16 @@ def test_pinned_seeds_are_exactly_once(mode, seed):
     assert report.metrics["client.unresolved"] == 0
 
 
+@pytest.mark.parametrize("seed", [9, 23])
+def test_pinned_seeds_are_exactly_once_per_backend(backend, seed):
+    """Conformance: the exactly-once ledger holds under the heaviest
+    pinned storms on every reconfiguration backend."""
+    report = run_chaos(seed=seed, backend=backend, clients=6)
+    assert report.ok, f"chaos {backend} seed={seed} clients=6: {report.error}"
+    assert report.metrics["client.requests"] > 0
+    assert report.metrics["client.unresolved"] == 0
+
+
 @pytest.mark.parametrize("mode,seed", [("evs", 12), ("vs", 23)])
 def test_sabotaged_dedup_is_caught(mode, seed):
     """With the outcome table disabled, resubmission after an in-doubt
@@ -48,8 +58,8 @@ def test_sabotaged_dedup_is_caught(mode, seed):
     assert "committed under 2 distinct gids" in report.error
 
 
-def test_resubmission_is_answered_from_the_table():
-    cluster = quick_cluster()
+def test_resubmission_is_answered_from_the_table(backend):
+    cluster = quick_cluster(backend=backend)
     node = cluster.nodes[cluster.active_sites()[0]]
     results = []
     first = node.submit(["obj0"], {"obj1": 111},

@@ -40,10 +40,18 @@ class TestAllStrategies:
         assert rejoined
         cluster.check()
 
+    @pytest.mark.parametrize("strategy", ["rectable", "lazy"])
+    def test_rejoin_and_consistency_backends(self, backend, strategy):
+        """Conformance: rejoin + 1CS hold on every backend."""
+        cluster = quick_cluster(db_size=80, strategy=strategy, backend=backend)
+        _, rejoined = crash_recover_cycle(cluster)
+        assert rejoined
+        cluster.check()
+
 
 class TestRecoverySemantics:
-    def test_recovered_site_serves_reads_of_new_state(self):
-        cluster = quick_cluster(db_size=30)
+    def test_recovered_site_serves_reads_of_new_state(self, backend):
+        cluster = quick_cluster(db_size=30, backend=backend)
         cluster.submit_via("S1", [], {"obj0": "pre-crash"})
         cluster.settle(0.3)
         cluster.crash("S3")
@@ -127,10 +135,11 @@ class TestRecoverySemantics:
         assert ok1 and ok2
         cluster.check()
 
-    def test_two_concurrent_joiners(self):
+    def test_two_concurrent_joiners(self, backend):
         from repro import LoadGenerator, WorkloadConfig
 
-        cluster = quick_cluster(n_sites=5, db_size=80, strategy="rectable")
+        cluster = quick_cluster(n_sites=5, db_size=80, strategy="rectable",
+                                backend=backend)
         load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=100,
                                                      reads_per_txn=1, writes_per_txn=2))
         load.start()

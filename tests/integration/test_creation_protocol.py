@@ -30,6 +30,15 @@ class TestCreation:
         cluster.settle(1.0)
         cluster.check()
 
+    def test_total_failure_recovery_backends(self, backend):
+        """Conformance: the creation protocol holds on every backend."""
+        cluster = quick_cluster(backend=backend, db_size=50,
+                                strategy="version_check")
+        ok = total_failure_and_recovery(cluster, ["S3", "S1", "S2"])
+        assert ok
+        cluster.settle(1.0)
+        cluster.check()
+
     def test_source_is_most_current_site(self):
         """The stale site (S3, crashed first) must not become the source:
         the max-cover site provides the state."""
@@ -42,10 +51,10 @@ class TestCreation:
         }
         assert digests["S3"] == digests["S1"] == digests["S2"]
 
-    def test_creation_waits_for_all_sites(self):
+    def test_creation_waits_for_all_sites(self, backend):
         """Section 3: neither a majority nor the last primary view
         suffices — the logs of *all* sites must be considered."""
-        cluster = quick_cluster(db_size=30)
+        cluster = quick_cluster(db_size=30, backend=backend)
         run_load(cluster, duration=0.4)
         for site in cluster.universe:
             cluster.crash(site)
@@ -88,8 +97,8 @@ class TestCreation:
                 assert cluster.nodes[site].db.store.value("obj1") == "only-s1"
         cluster.check()
 
-    def test_processing_resumes_after_creation(self):
-        cluster = quick_cluster(db_size=30)
+    def test_processing_resumes_after_creation(self, backend):
+        cluster = quick_cluster(db_size=30, backend=backend)
         assert total_failure_and_recovery(cluster, ["S1", "S2", "S3"])
         txn = cluster.submit_via("S2", [], {"obj0": "post-creation"})
         cluster.settle(0.5)

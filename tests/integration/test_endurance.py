@@ -10,7 +10,8 @@ change, not flakiness.
 import pytest
 
 from repro.endurance import (
-    EnduranceConfig, EnduranceEngine, dump_artifacts, run_endurance,
+    EnduranceConfig, EnduranceEngine, dump_artifacts, repro_command,
+    run_endurance,
 )
 from repro.replication.node import NodeConfig, SiteStatus
 from tests.conftest import quick_cluster, run_load
@@ -58,10 +59,53 @@ class TestComposedStorm:
                     "availability_digest"):
             assert len(payloads[0][key]) == 64
 
+    def test_composed_run_per_backend(self, backend):
+        """Conformance: the churn schedule passes its sweeps and the
+        availability floor on every reconfiguration backend."""
+        report = run_endurance(0, duration=4.0, backend=backend)
+        assert report.ok, report.error
+        assert report.sweeps >= 1
+
     def test_distinct_seeds_distinct_schedules(self):
         a = run_endurance(0, duration=5.0).payload()
         b = run_endurance(1, duration=5.0).payload()
         assert a["schedule_digest"] != b["schedule_digest"]
+
+
+class TestStrategyAndBackendCoverage:
+    """Pinned churn runs over the transfer strategies the composed storm
+    did not previously exercise, and over the logless backend."""
+
+    @pytest.mark.parametrize("strategy", ["gcs_level", "log_filter"])
+    def test_composed_storm_with_strategy(self, strategy):
+        report = run_endurance(3, duration=5.0, strategy=strategy)
+        assert report.ok, report.error
+        assert report.sweeps >= 1
+
+    def test_logless_backend_composed_run(self):
+        report = run_endurance(0, duration=6.0, backend="logless")
+        assert report.ok, report.error
+        assert report.sweeps >= 2
+        avail = report.availability()
+        assert avail["bins"] > 0
+        assert avail["mean_rate"] > 0
+
+    def test_logless_payload_digests_are_byte_stable(self):
+        payloads = [run_endurance(0, duration=5.0,
+                                  backend="logless").payload()
+                    for _ in range(2)]
+        assert payloads[0] == payloads[1]
+
+    def test_repro_command_names_backend_and_strategy(self):
+        config = EnduranceConfig(seed=3, duration=5.0, backend="logless",
+                                 strategy="log_filter")
+        command = repro_command(config)
+        assert "--backend logless" in command
+        assert "--strategy log_filter" in command
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            EnduranceConfig(seed=0, backend="bogus").validate()
 
 
 class TestSabotage:

@@ -27,8 +27,9 @@ class XferBlackout(FaultInjector):
         return delays
 
 
-def test_stalled_transfer_fails_over_without_view_change():
-    cluster = ClusterBuilder(n_sites=3, db_size=40, seed=5150, strategy="rectable").build()
+def test_stalled_transfer_fails_over_without_view_change(backend):
+    cluster = ClusterBuilder(n_sites=3, db_size=40, seed=5150,
+                             strategy="rectable", backend=backend).build()
     cluster.start()
     assert cluster.await_all_active(timeout=10)
 
@@ -82,11 +83,12 @@ def test_stalled_transfer_fails_over_without_view_change():
     check_convergence(list(cluster.nodes.values()))
 
 
-def test_peer_failover_serves_solicited_joiner():
+def test_peer_failover_serves_solicited_joiner(backend):
     """When the elected peer itself is the dead link, a *different*
     up-to-date member answers the joiner's solicit (fail-over), observed
     through the serving-side counter."""
-    cluster = ClusterBuilder(n_sites=3, db_size=40, seed=4242, strategy="rectable").build()
+    cluster = ClusterBuilder(n_sites=3, db_size=40, seed=4242,
+                             strategy="rectable", backend=backend).build()
     cluster.start()
     assert cluster.await_all_active(timeout=10)
 

@@ -88,6 +88,36 @@ class TestAvailabilityFloor:
         with pytest.raises(ValueError):
             check_availability_floor([], window=0.0, bin_width=0.25)
 
+    def test_all_maintenance_run_passes(self):
+        # A run the harness paused throughout has no observable outage,
+        # however long it is: every bin is excluded.
+        check_availability_floor(bins("m" * 40), window=1.0, bin_width=0.25)
+
+    def test_single_serving_bin_passes(self):
+        check_availability_floor(bins("#"), window=1.0, bin_width=0.25)
+
+    def test_single_zero_bin_spanning_the_window_fails(self):
+        # One bin can violate on its own when it is at least as wide as
+        # the window: the gap is measured from the bin's *start*.
+        with pytest.raises(ConsistencyViolation, match="availability floor"):
+            check_availability_floor(bins("0", bin_width=1.0, start=2.0),
+                                     window=1.0, bin_width=1.0)
+
+    def test_gap_exactly_at_window_fails(self):
+        # >= semantics: a dark span of exactly one window is already a
+        # violation, not the last tolerated length.
+        with pytest.raises(ConsistencyViolation, match=">= window"):
+            check_availability_floor(bins("##0000##"),
+                                     window=1.0, bin_width=0.25)
+
+    def test_gap_one_bin_under_window_passes(self):
+        check_availability_floor(bins("##000##"),
+                                 window=1.0, bin_width=0.25)
+
+    def test_empty_timeline_passes(self):
+        # No samples, no observable outage (parameters still validated).
+        check_availability_floor([], window=1.0, bin_width=0.25)
+
 
 def populated_storage(n=8):
     storage = PersistentStorage()

@@ -90,7 +90,7 @@ class TestRunFleet:
 class TestSweepPlumbing:
     def test_studies_present_with_unique_cell_keys(self):
         assert set(SWEEPS) == {"db_size", "update_fraction", "throughput",
-                               "rw_ratio"}
+                               "rw_ratio", "E7"}
         for study in SWEEPS.values():
             keys = [key for key, _ in study.grid]
             assert len(set(keys)) == len(keys)
