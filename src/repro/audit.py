@@ -25,7 +25,11 @@ which batching legitimately changes):
   transactions at the same virtual times with the same final states
   (PR 2's claim, here checked on the pinned scenarios end to end);
 * ``obs`` axis — attaching the observability layer must not change any
-  outcome (PR 3's claim).
+  outcome (PR 3's claim);
+* ``profile`` axis — attaching the deterministic sim-loop profiler
+  (repro.obs.profile) must not change *anything*, including event and
+  message counts and the trace digest, so this axis compares the FULL
+  key set rather than the protocol subset.
 
 Any divergence fails loudly: the report names the case, the digest keys
 that differ, the first divergent line (from the ``--dump-dir``
@@ -119,8 +123,9 @@ def _build_cases() -> Dict[str, AuditCase]:
                        ("evs", 12), ("vs", 23)):
         cases.append(_chaos_case(mode, seed))
     # One storm carrying the observability-equivalence axis (PR 3's
-    # claim) on top of determinism.
-    cases.append(_chaos_case("vs", 7, axes=("obs",), intensity=0.6))
+    # claim) and the profiler-equivalence axis on top of determinism.
+    cases.append(_chaos_case("vs", 7, axes=("obs", "profile"),
+                             intensity=0.6))
     # Client-mode storms: the same pinned seeds driven by closed-loop
     # ClientSession fleets (repro.client) — session timers, failover
     # site picks and dedup suppression must all replay exactly.
@@ -133,7 +138,8 @@ def _build_cases() -> Dict[str, AuditCase]:
         cases.append(AuditCase(case_id=f"endurance:{mode}:{seed}",
                                kind="endurance",
                                params={"seed": seed, "mode": mode,
-                                       "duration": 6.0}))
+                                       "duration": 6.0},
+                               axes=("profile",) if mode == "vs" else ()))
     # The logless reconfiguration backend (config-as-replicated-state,
     # docs/RECONFIG_BACKENDS.md): one pinned chaos storm and one
     # endurance churn run must replay byte-for-byte, like the EVS ones.
@@ -235,7 +241,8 @@ def execute_variant(case_id: str, variant: str,
 
     Variants: ``a``/``b`` — two identical determinism runs (``b`` is the
     one the sabotage test hook perturbs); ``no_batching`` — batching
-    layers disabled; ``obs`` — full observability attached.
+    layers disabled; ``obs`` — full observability attached; ``profile``
+    — the deterministic sim-loop profiler attached.
     """
     case = CASES[case_id]
     if case.kind == "bench":
@@ -257,6 +264,8 @@ def execute_variant(case_id: str, variant: str,
             params["batching"] = False
         if variant == "obs":
             params["observe"] = True
+        if variant == "profile":
+            params["profile"] = True
         engine = ChaosEngine(ChaosConfig(**params))
         report = engine.run()
         schedule = [f"{time:.6f} {action} {detail}"
@@ -271,6 +280,8 @@ def execute_variant(case_id: str, variant: str,
             params["batching"] = False
         if variant == "obs":
             params["observe"] = True
+        if variant == "profile":
+            params["profile"] = True
         engine = EnduranceEngine(EnduranceConfig(**params))
         report = engine.run()
         schedule = [f"{time:.6f} {action} {detail}"
@@ -286,7 +297,7 @@ def execute_variant(case_id: str, variant: str,
 @dataclass
 class AuditFailure:
     case_id: str
-    axis: str  # "determinism" | "batching" | "obs" | "error" | "broken"
+    axis: str  # "determinism" | "batching" | "obs" | "profile" | "error" | "broken"
     detail: str
     repro: str
     diverging_keys: Tuple[str, ...] = ()
@@ -357,6 +368,8 @@ def _variants_of(case: AuditCase) -> List[str]:
         variants.append("no_batching")
     if "obs" in case.axes:
         variants.append("obs")
+    if "profile" in case.axes:
+        variants.append("profile")
     return variants
 
 
@@ -468,6 +481,13 @@ def run_audit(case_ids: Optional[Sequence[str]] = None, jobs: int = 1,
                                runs["a"], runs["obs"], "a", "obs")
             if failure:
                 failures.append((failure, ("a", "obs")))
+        if "profile" in case.axes:
+            # The profiler wraps the event dispatch but must not change
+            # a single event — full-key comparison, not just protocol.
+            failure = _compare(case_id, "profile", FULL_KEYS,
+                               runs["a"], runs["profile"], "a", "profile")
+            if failure:
+                failures.append((failure, ("a", "profile")))
         # A case that "reproducibly fails" is still broken: the pinned
         # scenarios must complete and pass their invariant checks.
         base = runs["a"]

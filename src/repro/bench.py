@@ -51,7 +51,10 @@ from repro.workload.generator import LoadGenerator, WorkloadConfig
 #: ``commits_per_sim_second`` (the deterministic gate metric).
 #: 4: ``client_failover`` scenario (closed-loop sessions with
 #: exactly-once failover) joins the pinned matrix.
-SCHEMA_VERSION = 4
+#: 5: per-scenario ``epochs`` (reconfiguration epoch summary with the
+#: phase decomposition, repro.obs.epochs) and — under ``--profile`` —
+#: ``profile`` (top sim-loop cost buckets, wall-clock so non-gating).
+SCHEMA_VERSION = 5
 
 #: Default regression tolerance for the *wall-clock* --baseline check:
 #: fail when a scenario's commits_per_wall_second drops more than this
@@ -69,7 +72,10 @@ DEFAULT_SIM_TOLERANCE = 0.05
 #: Per-scenario result fields that depend on the wall clock (and hence
 #: legitimately differ between repetitions, machines and --jobs levels).
 #: Everything else in a scenario row is a pure function of the seed.
-WALL_CLOCK_FIELDS = ("wall_seconds", "commits_per_wall_second")
+#: ``profile`` rows carry wall-clock and allocator measurements, so the
+#: whole field is excluded from the deterministic payload; the epoch
+#: summary, by contrast, is sim-time-only and stays in the gate view.
+WALL_CLOCK_FIELDS = ("wall_seconds", "commits_per_wall_second", "profile")
 
 
 @dataclass
@@ -90,11 +96,30 @@ class BenchResult:
     #: taken after the run — pure reads of existing counters, so it adds
     #: no hot-path cost to the measurement itself.
     metrics: Dict[str, float] = field(default_factory=dict)
+    #: Reconfiguration epoch summary (repro.obs.epochs.epoch_summary)
+    #: when the scenario ran with a tracer attached; empty otherwise.
+    #: Sim-time-only, so it is part of the deterministic payload.
+    epochs: Dict[str, Any] = field(default_factory=dict)
+    #: Top sim-loop cost buckets (repro.obs.profile) when the matrix ran
+    #: with ``--profile``; wall-clock data, excluded from the gate.
+    profile: List[Dict[str, Any]] = field(default_factory=list)
 
 
 def _result(name: str, completed: bool, wall: float, sim_seconds: float,
             commits: int, events: int, messages: int,
             transfer_bytes: int, cluster=None) -> BenchResult:
+    epochs: Dict[str, Any] = {}
+    profile: List[Dict[str, Any]] = []
+    if cluster is not None:
+        tracer = getattr(cluster, "tracer", None)
+        if tracer is not None:
+            from repro.obs.epochs import epoch_summary, extract_epochs
+
+            epochs = epoch_summary(
+                extract_epochs(tracer.events, end_time=cluster.sim.now))
+        profiler = getattr(cluster, "profiler", None)
+        if profiler is not None:
+            profile = profiler.top_buckets()
     result = BenchResult(
         name=name,
         completed=completed,
@@ -109,6 +134,8 @@ def _result(name: str, completed: bool, wall: float, sim_seconds: float,
         messages_delivered=messages,
         transfer_bytes=transfer_bytes,
         metrics=collect_cluster_metrics(cluster) if cluster is not None else {},
+        epochs=epochs,
+        profile=profile,
     )
     # Stash the live cluster as a plain attribute (not a dataclass field,
     # so asdict() and the JSON payload never see it): the determinism
@@ -121,11 +148,16 @@ def _result(name: str, completed: bool, wall: float, sim_seconds: float,
 # ----------------------------------------------------------------------
 # Scenarios
 # ----------------------------------------------------------------------
-def bench_throughput(smoke: bool = False, batching: bool = True) -> BenchResult:
+def bench_throughput(smoke: bool = False, batching: bool = True,
+                     profile: bool = False) -> BenchResult:
     """Steady-state OLTP load on five sites, no faults."""
     duration = 1.5 if smoke else 6.0
     cluster = ClusterBuilder(n_sites=5, db_size=200, seed=11,
                              batching=batching).build()
+    if profile:
+        from repro.obs.profile import attach_profiler
+
+        attach_profiler(cluster)
     cluster.start()
     completed = cluster.await_all_active(timeout=15)
     load = LoadGenerator(cluster, WorkloadConfig(
@@ -147,7 +179,7 @@ def bench_throughput(smoke: bool = False, batching: bool = True) -> BenchResult:
 
 
 def bench_figure(mode: str, smoke: bool = False,
-                 batching: bool = True) -> BenchResult:
+                 batching: bool = True, profile: bool = False) -> BenchResult:
     """The Figure 1 (VS) / Figure 2 (EVS) cascading reconfiguration."""
     from repro.scenarios import run_figure1_scenario
 
@@ -155,7 +187,8 @@ def bench_figure(mode: str, smoke: bool = False,
     if smoke:
         kwargs.update(db_size=120, arrival_rate=50.0)
     start = time.perf_counter()
-    report = run_figure1_scenario(batching=batching, **kwargs)
+    report = run_figure1_scenario(batching=batching, profile=profile,
+                                  **kwargs)
     wall = time.perf_counter() - start
     cluster = report.cluster
     return _result(
@@ -168,13 +201,15 @@ def bench_figure(mode: str, smoke: bool = False,
     )
 
 
-def bench_chaos(smoke: bool = False, batching: bool = True) -> BenchResult:
+def bench_chaos(smoke: bool = False, batching: bool = True,
+                profile: bool = False) -> BenchResult:
     """One pinned seeded chaos storm (fault-heavy mixed scenario)."""
     from repro.faults import ChaosConfig, ChaosEngine
 
     config = ChaosConfig(seed=3, intensity=0.5, n_sites=4, db_size=40,
                          duration=1.5 if smoke else 3.0,
-                         arrival_rate=60.0, batching=batching)
+                         arrival_rate=60.0, batching=batching,
+                         profile=profile)
     engine = ChaosEngine(config)
     start = time.perf_counter()
     report = engine.run()
@@ -191,8 +226,8 @@ def bench_chaos(smoke: bool = False, batching: bool = True) -> BenchResult:
     )
 
 
-def bench_client_failover(smoke: bool = False,
-                          batching: bool = True) -> BenchResult:
+def bench_client_failover(smoke: bool = False, batching: bool = True,
+                          profile: bool = False) -> BenchResult:
     """Closed-loop client sessions riding out a pinned fault storm.
 
     Same chaos machinery as ``chaos`` but driven by ClientSession
@@ -208,7 +243,8 @@ def bench_client_failover(smoke: bool = False,
 
     config = ChaosConfig(seed=23, mode="evs", intensity=0.5, n_sites=4,
                          db_size=40, duration=1.5 if smoke else 3.0,
-                         arrival_rate=60.0, clients=6, batching=batching)
+                         arrival_rate=60.0, clients=6, batching=batching,
+                         profile=profile)
     engine = ChaosEngine(config)
     start = time.perf_counter()
     report = engine.run()
@@ -229,12 +265,13 @@ SCENARIOS = ("throughput", "figure1", "figure2_evs", "chaos",
              "client_failover")
 
 _RUNNERS = {
-    "throughput": lambda smoke, batching: bench_throughput(smoke, batching),
-    "figure1": lambda smoke, batching: bench_figure("vs", smoke, batching),
-    "figure2_evs": lambda smoke, batching: bench_figure("evs", smoke, batching),
-    "chaos": lambda smoke, batching: bench_chaos(smoke, batching),
-    "client_failover": lambda smoke, batching: bench_client_failover(
-        smoke, batching),
+    "throughput": bench_throughput,
+    "figure1": lambda smoke, batching, profile: bench_figure(
+        "vs", smoke, batching, profile),
+    "figure2_evs": lambda smoke, batching, profile: bench_figure(
+        "evs", smoke, batching, profile),
+    "chaos": bench_chaos,
+    "client_failover": bench_client_failover,
 }
 
 
@@ -249,11 +286,11 @@ def validate_scenarios(names: List[str]) -> None:
         )
 
 
-def run_scenario(name: str, smoke: bool = False,
-                 batching: bool = True) -> BenchResult:
+def run_scenario(name: str, smoke: bool = False, batching: bool = True,
+                 profile: bool = False) -> BenchResult:
     """Run one pinned scenario by name."""
     validate_scenarios([name])
-    return _RUNNERS[name](smoke, batching)
+    return _RUNNERS[name](smoke, batching, profile)
 
 
 def _best_of_rows(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
@@ -269,7 +306,8 @@ def _best_of_rows(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
 
 def run_matrix(smoke: bool = False, batching: bool = True,
                only: Optional[List[str]] = None,
-               best_of: int = 1, jobs: int = 1) -> Dict[str, Any]:
+               best_of: int = 1, jobs: int = 1,
+               profile: bool = False) -> Dict[str, Any]:
     """Run the pinned matrix; returns the BENCH_results.json payload.
 
     ``best_of`` repeats each scenario and keeps the repetition with the
@@ -294,7 +332,7 @@ def run_matrix(smoke: bool = False, batching: bool = True,
         tasks = [
             FleetTask(key=f"{name}#{rep}", kind="bench",
                       params={"scenario": name, "smoke": smoke,
-                              "batching": batching})
+                              "batching": batching, "profile": profile})
             for name in names for rep in range(reps)
         ]
         payloads = run_fleet(tasks, jobs=jobs)
@@ -309,7 +347,7 @@ def run_matrix(smoke: bool = False, batching: bool = True,
             results[name] = _best_of_rows(rows)
     else:
         for name in names:
-            rows = [asdict(run_scenario(name, smoke, batching))
+            rows = [asdict(run_scenario(name, smoke, batching, profile))
                     for _ in range(reps)]
             results[name] = _best_of_rows(rows)
     return {
@@ -340,7 +378,8 @@ def deterministic_payload(results: Dict[str, Any]) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 def compare_to_baseline(results: Dict[str, Any], baseline: Dict[str, Any],
                         tolerance: float = DEFAULT_TOLERANCE,
-                        sim_tolerance: float = DEFAULT_SIM_TOLERANCE) -> List[str]:
+                        sim_tolerance: float = DEFAULT_SIM_TOLERANCE,
+                        check_wall: bool = True) -> List[str]:
     """Return one failure message per gate violation.
 
     The gate is two-tier:
@@ -352,6 +391,9 @@ def compare_to_baseline(results: Dict[str, Any], baseline: Dict[str, Any],
       a drop means the protocol's behaviour changed.
     * **wall-clock** — ``commits_per_wall_second`` must stay within
       ``tolerance`` (noisy secondary check for real slowdowns).
+      Skipped when ``check_wall`` is false: a ``--profile`` run pays
+      per-event attribution overhead, so its wall numbers are not
+      comparable to an unprofiled baseline.
 
     Scenario-set mismatches are failures in *both* directions: a
     scenario present in the baseline but missing from the results (a
@@ -393,7 +435,7 @@ def compare_to_baseline(results: Dict[str, Any], baseline: Dict[str, Any],
             )
         base = base_row.get("commits_per_wall_second", 0.0)
         current = row.get("commits_per_wall_second", 0.0)
-        if base > 0 and current < base * (1.0 - tolerance):
+        if check_wall and base > 0 and current < base * (1.0 - tolerance):
             failures.append(
                 f"{name}: {current:.1f} commits/s is more than "
                 f"{tolerance:.0%} below baseline {base:.1f}"
@@ -408,24 +450,26 @@ def main(smoke: bool = False, batching: bool = True,
          baseline: Optional[str] = None,
          tolerance: float = DEFAULT_TOLERANCE,
          only: Optional[List[str]] = None,
-         best_of: int = 1, jobs: int = 1) -> int:
+         best_of: int = 1, jobs: int = 1, profile: bool = False) -> int:
     try:
         results = run_matrix(smoke=smoke, batching=batching, only=only,
-                             best_of=best_of, jobs=jobs)
+                             best_of=best_of, jobs=jobs, profile=profile)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     header = (f"{'scenario':14s} {'wall s':>8s} {'sim s':>8s} {'commits':>8s} "
               f"{'sim c/s':>8s} {'wall c/s':>9s} {'events':>9s} "
-              f"{'messages':>9s} {'xfer B':>9s}")
+              f"{'messages':>9s} {'xfer B':>9s} {'epochs':>7s} {'down s':>7s}")
     print(header)
     print("-" * len(header))
     for name, row in results["scenarios"].items():
+        epochs = row.get("epochs") or {}
         print(f"{name:14s} {row['wall_seconds']:8.3f} {row['sim_seconds']:8.2f} "
               f"{row['commits']:8d} {row['commits_per_sim_second']:8.1f} "
               f"{row['commits_per_wall_second']:9.1f} "
               f"{row['events_processed']:9d} {row['messages_delivered']:9d} "
-              f"{row['transfer_bytes']:9d}"
+              f"{row['transfer_bytes']:9d} {epochs.get('count', 0):7d} "
+              f"{epochs.get('total_downtime', 0.0):7.3f}"
               + ("" if row["completed"] else "   [INCOMPLETE]"))
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
@@ -434,10 +478,14 @@ def main(smoke: bool = False, batching: bool = True,
     if baseline is not None:
         with open(baseline, "r", encoding="utf-8") as handle:
             base = json.load(handle)
-        failures = compare_to_baseline(results, base, tolerance)
+        failures = compare_to_baseline(results, base, tolerance,
+                                       check_wall=not profile)
         if failures:
             for failure in failures:
                 print(f"REGRESSION: {failure}", file=sys.stderr)
             return 1
+        if profile:
+            print("wall-clock gate skipped under --profile (attribution "
+                  "overhead is not comparable to an unprofiled baseline)")
         print(f"no regression beyond {tolerance:.0%} vs {baseline}")
     return 0

@@ -17,6 +17,8 @@ Usage::
     python -m repro diff --seeds 9,23 --jobs 2       # cross-backend differential
     python -m repro audit --jobs 4                   # determinism audit
     python -m repro report --out-dir obs_out         # observed run + artifacts
+    python -m repro report --summary                 # one-screen digest
+    python -m repro profile --smoke                  # deterministic profiler run
 
 Every command runs a deterministic simulation and prints its results;
 pass ``--seed`` to vary the run.  ``--jobs N`` fans independent
@@ -143,13 +145,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
     import os
 
     from repro.obs import (
-        load_jsonl, render_summary,
+        load_jsonl, render_one_screen, render_summary,
         write_chrome_trace, write_jsonl, write_prometheus,
     )
 
+    render = render_one_screen if args.summary else render_summary
     if args.input is not None:
         run = load_jsonl(args.input)
-        print(render_summary(run))
+        print(render(run))
         return 0
 
     # A pinned crash + online-recovery run: the one scenario that
@@ -179,7 +182,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     name = (f"recover {victim} (seed={args.seed} strategy={args.strategy} "
             f"mode={args.mode})")
     run = obs.run_data(name)
-    print(render_summary(run))
+    print(render(run))
+    if args.summary:
+        # One-screen digest only; no artifact files.
+        return 0 if ok else 1
     out_dir = args.out_dir
     os.makedirs(out_dir, exist_ok=True)
     jsonl_path = os.path.join(out_dir, "run.jsonl")
@@ -192,6 +198,66 @@ def _cmd_report(args: argparse.Namespace) -> int:
           f"({len(run.events)} events, {len(run.spans)} spans), "
           f"trace.json (load in chrome://tracing or ui.perfetto.dev), "
           f"metrics.prom")
+    return 0 if ok else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Deterministic profiler run: a pinned crash + online-recovery
+    scenario with the sim-loop profiler attached, exported as a sorted
+    cost table, a collapsed-stack file, and the epoch phase table."""
+    import os
+
+    from repro.obs import (attach_profiler, extract_epochs,
+                           render_epoch_table)
+
+    if args.smoke:
+        # Pinned reduced-scale scenario for the CI profile-smoke job.
+        args.sites, args.db_size, args.rate = 3, 60, 80.0
+        args.downtime = 0.4
+    cluster = ClusterBuilder(n_sites=args.sites, db_size=args.db_size,
+                             seed=args.seed, strategy=args.strategy,
+                             mode=args.mode, backend=args.backend).build()
+    tracer = attach_tracer(cluster)
+    profiler = attach_profiler(cluster)
+    cluster.start()
+    if not cluster.await_all_active(timeout=15):
+        print("bootstrap failed", file=sys.stderr)
+        return 1
+    load = LoadGenerator(cluster, WorkloadConfig(arrival_rate=args.rate))
+    load.start()
+    cluster.run_for(0.5)
+    victim = f"S{args.sites}"
+    cluster.crash(victim)
+    cluster.run_for(args.downtime)
+    cluster.recover(victim)
+    ok = cluster.await_condition(
+        lambda: cluster.nodes[victim].status is SiteStatus.ACTIVE, timeout=60
+    )
+    load.stop()
+    cluster.settle(0.5)
+    cluster.check()
+
+    epochs = extract_epochs(tracer.events, end_time=cluster.sim.now)
+    print(f"profiled recovery of {victim} (seed={args.seed} "
+          f"strategy={args.strategy} mode={args.mode} "
+          f"backend={cluster.backend_name}): "
+          f"{'completed' if ok else 'TIMED OUT'}")
+    print()
+    print(profiler.render(limit=args.top))
+    print()
+    print(render_epoch_table(epochs))
+    out_dir = args.out_dir
+    os.makedirs(out_dir, exist_ok=True)
+    collapsed_path = os.path.join(out_dir, "profile.collapsed")
+    table_path = os.path.join(out_dir, "profile.txt")
+    epochs_path = os.path.join(out_dir, "epochs.txt")
+    profiler.write_collapsed(collapsed_path)
+    profiler.write_table(table_path)
+    with open(epochs_path, "w", encoding="utf-8") as handle:
+        handle.write(render_epoch_table(epochs) + "\n")
+    print(f"\nartifacts written to {out_dir}/: profile.collapsed "
+          f"({len(profiler.buckets)} buckets; feed to flamegraph.pl), "
+          f"profile.txt, epochs.txt")
     return 0 if ok else 1
 
 
@@ -209,6 +275,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         backend=args.backend,
         strategy=args.strategy, arrival_rate=args.rate, observe=observe,
         clients=args.clients, sabotage_dedup=args.sabotage_dedup,
+        profile=args.profile,
     )
     report = ChaosEngine(config).run()
     if args.timeline and report.tracer is not None:
@@ -218,6 +285,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print(f"{time:8.3f}  chaos  {action:14s} {detail}")
     print()
     print(report.summary())
+    epochs = report.epochs()
+    if epochs:
+        from repro.obs import render_epoch_table
+
+        print()
+        print(render_epoch_table(epochs, limit=8))
+    if report.profiler is not None:
+        print()
+        print(report.profiler.render(limit=16))
     if config.clients:
         m = report.metrics
         print(f"clients: {m.get('client.requests', 0):.0f} requests, "
@@ -310,7 +386,7 @@ def _endurance_config(args: argparse.Namespace):
         # Endurance is always client-driven; --clients 0 (the chaos
         # default) means "use the endurance default fleet size".
         clients=args.clients or EnduranceConfig.clients,
-        observe=observe,
+        observe=observe, profile=args.profile,
         sabotage_outcome_merge=args.sabotage_outcome_merge,
     )
     if args.segments:
@@ -348,6 +424,15 @@ def _cmd_endurance(args: argparse.Namespace) -> int:
           f"{m.get('dedup.suppressed', 0):.0f} duplicates suppressed")
     print(render_availability(report.samples, report.bin_width,
                               report.warmup))
+    epochs = report.epochs()
+    if epochs:
+        from repro.obs import render_epoch_table
+
+        print()
+        print(render_epoch_table(epochs, limit=8))
+    if report.profiler is not None:
+        print()
+        print(report.profiler.render(limit=16))
     if report.obs is not None:
         name = f"endurance seed={args.seed} mode={args.mode}"
         if args.trace is not None:
@@ -378,6 +463,7 @@ def _cmd_endurance_fleet(args: argparse.Namespace, fleet_kwargs) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     fleet_kwargs.pop("observe", None)
+    fleet_kwargs.pop("profile", None)
     start = time.perf_counter()
     results = run_endurance_fleet(seeds, jobs=args.jobs,
                                   artifacts_dir=args.artifacts_dir,
@@ -549,6 +635,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         only=only,
         best_of=args.best_of,
         jobs=args.jobs,
+        profile=args.profile,
     )
 
 
@@ -606,7 +693,28 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--input", default=None, metavar="RUN_JSONL",
                         help="render the summary of a previously exported "
                              "run.jsonl instead of running a simulation")
+    report.add_argument("--summary", action="store_true",
+                        help="print the one-screen digest (commits, aborts, "
+                             "availability, epochs, worst epoch) and skip "
+                             "artifact files")
     report.set_defaults(fn=_cmd_report)
+
+    profile = sub.add_parser(
+        "profile",
+        help="deterministic sim-loop profiler: per-subsystem cost table + "
+             "collapsed-stack file + epoch phase decomposition",
+    )
+    common(profile)
+    profile.add_argument("--downtime", type=float, default=0.8)
+    profile.add_argument("--smoke", action="store_true",
+                         help="pinned reduced-scale scenario (CI smoke job)")
+    profile.add_argument("--top", type=int, default=24,
+                         help="rows in the printed cost table "
+                              "(default %(default)s)")
+    profile.add_argument("--out-dir", default="profile_out",
+                         help="directory for profile.collapsed / profile.txt "
+                              "/ epochs.txt (default %(default)s)")
+    profile.set_defaults(fn=_cmd_profile)
 
     chaos = sub.add_parser(
         "chaos", help="seeded randomized fault storm + full invariant check"
@@ -659,6 +767,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "site; a client-mode run is then EXPECTED to "
                             "fail the exactly-once check (checker "
                             "self-test)")
+    chaos.add_argument("--profile", action="store_true",
+                       help="attach the deterministic sim-loop profiler and "
+                            "print the per-subsystem cost table "
+                            "(observation-equivalent; single runs only)")
     chaos.add_argument("--seeds", default=None, metavar="SPEC",
                        help="run a whole seed fleet instead of one storm: "
                             "'0..15', '1,2,5' or a mix; results are merged "
@@ -695,6 +807,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the scenario matrix; the "
                             "merged payload is identical to --jobs 1 modulo "
                             "wall-clock fields (default %(default)s)")
+    bench.add_argument("--profile", action="store_true",
+                       help="attach the deterministic profiler to every "
+                            "scenario and embed the top cost buckets in the "
+                            "results JSON (wall-clock fields only; the "
+                            "deterministic payload is unchanged)")
     bench.set_defaults(fn=_cmd_bench)
 
     sweep = sub.add_parser(

@@ -82,6 +82,10 @@ class DifferentialReport:
                 lines.append(
                     "  ".join(c.ljust(w) for c, w in zip(cells, widths))
                 )
+        phase_table = self.render_phase_table()
+        if phase_table:
+            lines.append("")
+            lines.append(phase_table)
         for failure in self.failures:
             lines.append(f"FAILURE: {failure}")
         if self.ok:
@@ -90,6 +94,30 @@ class DifferentialReport:
                 "batteries passed on every backend"
             )
         return "\n".join(lines)
+
+    def epoch_summaries(self) -> Dict[str, Dict[str, Any]]:
+        """Per-backend epoch summary, aggregated over all seeds."""
+        from repro.obs.epochs import merge_epoch_summaries
+
+        summaries: Dict[str, Dict[str, Any]] = {}
+        for backend in self.backends:
+            per_seed = [
+                self.rows.get(seed, {}).get(backend, {}).get("epochs") or {}
+                for seed in self.seeds
+            ]
+            summaries[backend] = merge_epoch_summaries(per_seed)
+        return summaries
+
+    def render_phase_table(self) -> str:
+        """Downtime attribution per phase, side by side per backend."""
+        from repro.obs.epochs import render_phase_comparison
+
+        summaries = self.epoch_summaries()
+        if not any(s.get("count") for s in summaries.values()):
+            return ""
+        return ("reconfiguration downtime by phase "
+                f"(all {len(self.seeds)} seeds)\n"
+                + render_phase_comparison(summaries))
 
 
 def _chaos_params(seed: int, backend: str, overrides: Dict[str, Any]) -> Dict[str, Any]:

@@ -84,6 +84,9 @@ class EnduranceConfig:
     enable_torn_wal: bool = True
     batching: bool = True
     observe: bool = False
+    #: Attach the deterministic event-loop profiler (repro.obs.profile).
+    #: Observation-equivalent: schedules and digests are unchanged.
+    profile: bool = False
     #: Sabotage hook: one site skips adopting the peer's outcome table at
     #: transfer completion (the ``--sabotage-outcome-merge`` CLI flag).
     #: A sabotaged run is EXPECTED to fail — it proves the quiescent
@@ -146,8 +149,21 @@ class EnduranceReport:
     wal_corruptions: int = 0
     tracer: Optional[Tracer] = None
     obs: Optional[Any] = None
+    #: Profiler handle when built with ``EnduranceConfig(profile=True)``.
+    profiler: Optional[Any] = None
+    #: Virtual end time of the run (epoch truncation boundary).
+    virtual_time: float = 0.0
 
     # ------------------------------------------------------------------
+    def epochs(self):
+        """Reconfiguration epochs reconstructed from the trace."""
+        from repro.obs.epochs import extract_epochs
+
+        if self.tracer is None:
+            return []
+        return extract_epochs(self.tracer.events,
+                              end_time=self.virtual_time or None)
+
     def availability(self) -> Dict[str, float]:
         """Aggregate availability stats over serving (non-maintenance,
         post-warmup) bins: min/mean commit rate and zero-commit bins."""
@@ -194,7 +210,10 @@ class EnduranceReport:
         timeline = "\n".join(
             f"{t:.6f} {c} {int(m)}" for t, c, m in self.samples
         )
+        from repro.obs.epochs import epoch_summary
+
         return {
+            "epochs": epoch_summary(self.epochs()),
             "seed": self.seed,
             "ok": self.ok,
             "error": self.error,
@@ -304,6 +323,10 @@ class EnduranceEngine:
         else:
             attach_tracer(cluster)
         self.report.tracer = cluster.tracer
+        if config.profile:
+            from repro.obs.profile import attach_profiler
+
+            self.report.profiler = attach_profiler(cluster)
         # Always-on wire realism, mild enough for a long horizon.
         cluster.add_injector(DuplicateInjector(rate=0.05, spread=0.02))
         cluster.add_injector(ReorderInjector(rate=0.10, max_extra=0.02))
@@ -442,6 +465,7 @@ class EnduranceEngine:
                 node.duplicates_suppressed for node in cluster.nodes.values()
             )
         report.metrics["events_processed"] = cluster.sim.events_processed
+        report.virtual_time = cluster.sim.now
         if report.error is None:
             try:
                 check_availability_floor(

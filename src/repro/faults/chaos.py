@@ -83,6 +83,10 @@ class ChaosConfig:
     #: carries an ``obs`` handle whose trace/metrics can be exported —
     #: the CLI uses this to dump evidence when an invariant fails.
     observe: bool = False
+    #: Attach the deterministic event-loop profiler
+    #: (repro.obs.profile.SimProfiler).  Observation-equivalent: the
+    #: storm, histories and digests are identical with or without it.
+    profile: bool = False
 
     def validate(self) -> None:
         if not 0.0 <= self.intensity <= 1.0:
@@ -124,6 +128,21 @@ class ChaosReport:
     #: Observability handle (repro.obs.Observability) when the run was
     #: built with ``ChaosConfig(observe=True)``.
     obs: Optional[Any] = None
+    #: Profiler handle (repro.obs.profile.SimProfiler) when the run was
+    #: built with ``ChaosConfig(profile=True)``.
+    profiler: Optional[Any] = None
+    #: Virtual end time of the run (set at finish; epoch extraction
+    #: uses it to truncate still-open epochs).
+    virtual_time: float = 0.0
+
+    def epochs(self):
+        """Reconfiguration epochs reconstructed from the trace."""
+        from repro.obs.epochs import extract_epochs
+
+        if self.tracer is None:
+            return []
+        return extract_epochs(self.tracer.events,
+                              end_time=self.virtual_time or None)
 
     def summary(self) -> str:
         verdict = "PASS" if self.ok else f"FAIL ({self.error})"
@@ -147,10 +166,13 @@ class ChaosReport:
         schedule = "\n".join(
             f"{time:.6f} {action} {detail}" for time, action, detail in self.events
         )
+        from repro.obs.epochs import epoch_summary
+
         trace = ""
         if self.tracer is not None:
             trace = "\n".join(str(event) for event in self.tracer.events)
         return {
+            "epochs": epoch_summary(self.epochs()),
             "seed": self.seed,
             "intensity": self.intensity,
             "ok": self.ok,
@@ -241,6 +263,10 @@ class ChaosEngine:
         else:
             attach_tracer(cluster)
         self.report.tracer = cluster.tracer
+        if config.profile:
+            from repro.obs.profile import attach_profiler
+
+            self.report.profiler = attach_profiler(cluster)
         intensity = config.intensity
         if config.enable_duplication:
             cluster.add_injector(DuplicateInjector(rate=0.10 * intensity,
@@ -446,6 +472,7 @@ class ChaosEngine:
                 node.duplicates_suppressed for node in cluster.nodes.values()
             )
         report.metrics["events_processed"] = cluster.sim.events_processed
+        report.virtual_time = cluster.sim.now
         if report.error is not None:
             return report
         stuck = [

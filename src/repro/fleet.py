@@ -62,7 +62,8 @@ def _run_bench(params: Dict[str, Any]) -> Dict[str, Any]:
 
     result = bench.run_scenario(params["scenario"],
                                 smoke=params.get("smoke", False),
-                                batching=params.get("batching", True))
+                                batching=params.get("batching", True),
+                                profile=params.get("profile", False))
     return asdict(result)
 
 
@@ -344,7 +345,9 @@ def _build_sweeps() -> Dict[str, SweepStudy]:
                   "(identical pinned fault storms, db=300, downtime 0.8s)",
             grid=backends,
             columns=("completed", "extra.recovery_time", "extra.bytes_sent",
-                     "extra.abort_rate"),
+                     "extra.abort_rate", "extra.epoch_count",
+                     "extra.phase_membership", "extra.phase_transfer",
+                     "extra.phase_replay", "extra.epoch_retransmissions"),
         ),
     ]
     return {study.name: study for study in studies}

@@ -40,11 +40,33 @@ from repro.tracing import attach_tracer
 # ----------------------------------------------------------------------
 # Pull side: read the counters the subsystems keep anyway
 # ----------------------------------------------------------------------
+
+#: Backend-specific reconfiguration counters, read with ``getattr(..., 0)``
+#: so every backend reports the full set (absent counters as 0) and
+#: bench/diff metric tables stay column-stable across ``--backend``.
+BACKEND_COUNTER_KEYS: Dict[str, str] = {
+    "reconfig.svs_merges": "svs_merges_issued",          # EVS backend
+    "reconfig.sv_merges": "sv_merges_issued",            # EVS backend
+    "reconfig.config_proposals": "config_proposals_sent",  # logless backend
+    "reconfig.config_changes": "config_changes_applied",   # logless backend
+    "reconfig.config_conflicts": "config_conflicts",       # logless backend
+}
+
+
+def metric_key_set() -> tuple:
+    """The canonical, backend-independent key set every snapshot from
+    :func:`collect_cluster_metrics` contains — in emission order."""
+    probe = _CANONICAL_METRIC_KEYS
+    return tuple(probe)
+
+
 def collect_cluster_metrics(cluster) -> Dict[str, float]:
     """Flat metric snapshot from a cluster's existing counters.
 
     Safe to call on any cluster at any time — requires no prior
-    attachment and has no effect on the run.
+    attachment and has no effect on the run.  The returned dict always
+    contains the same keys regardless of the reconfiguration backend:
+    counters a backend does not maintain are reported as 0.
     """
     network = cluster.network
     metrics: Dict[str, float] = {
@@ -77,6 +99,7 @@ def collect_cluster_metrics(cluster) -> Dict[str, float]:
         "stalls": 0, "failovers": 0, "solicits": 0, "replayed": 0,
         "announcements": 0,
     }
+    backend_counters = {key: 0 for key in BACKEND_COUNTER_KEYS}
     for node in cluster.nodes.values():
         locks = node.db.locks
         lock_grants += locks.grants
@@ -110,6 +133,8 @@ def collect_cluster_metrics(cluster) -> Dict[str, float]:
             xfer["solicits"] += manager.solicits_sent
             xfer["replayed"] += manager.replayed_transactions
             xfer["announcements"] += manager.announcements_sent
+            for key, attr in BACKEND_COUNTER_KEYS.items():
+                backend_counters[key] += getattr(manager, attr, 0)
     metrics.update({
         "locks.grants": lock_grants,
         "locks.conflicts": lock_conflicts,
@@ -139,7 +164,33 @@ def collect_cluster_metrics(cluster) -> Dict[str, float]:
         "xfer.replayed_transactions": xfer["replayed"],
         "xfer.announcements": xfer["announcements"],
     })
+    metrics.update(backend_counters)
+    for key in _CANONICAL_METRIC_KEYS:
+        metrics.setdefault(key, 0)
     return metrics
+
+
+#: Every key :func:`collect_cluster_metrics` emits, in order — the
+#: column set bench/diff tables can rely on for any backend.
+_CANONICAL_METRIC_KEYS: tuple = (
+    "sim.virtual_time", "sim.events_processed",
+    "net.messages_sent", "net.messages_delivered", "net.messages_dropped",
+    "net.messages_duplicated", "net.messages_injector_dropped",
+    "net.delivery_batches", "net.messages_in_flight",
+    "txn.commits", "txn.aborts",
+    "locks.grants", "locks.conflicts", "locks.queue_depth_peak",
+    "locks.wait_time_total",
+    "wal.records_appended", "wal.fsyncs", "wal.torn_records",
+    "wal.corrupt_records",
+    "txn.site_commits", "txn.local_aborts",
+    "client.duplicates_suppressed", "client.outcome_entries",
+    "gcs.views_installed", "gcs.messages_delivered", "to.batches_sent",
+    "xfer.transfers_started", "xfer.transfers_completed",
+    "xfer.objects_sent", "xfer.bytes_sent",
+    "xfer.objects_received", "xfer.bytes_received",
+    "xfer.retransmissions", "xfer.stalls", "xfer.failovers",
+    "xfer.solicits", "xfer.replayed_transactions", "xfer.announcements",
+) + tuple(BACKEND_COUNTER_KEYS)
 
 
 # ----------------------------------------------------------------------
@@ -347,33 +398,7 @@ def _instrument_node(node, tracer, to_instruments, lock_instruments,
 
     node.on_txn_event = observed_tap
 
-    # Reconfiguration phases ---------------------------------------------
-    manager = node.reconfig
-    if manager is None:
-        return
-
-    original_joiner = manager.on_new_joiner_session
-
-    def observed_joiner():
-        original_joiner()
-        session = manager.joiner_session
-        tracer.emit(site, "transfer", "accept",
-                    data={"peer": None if session is None else session.peer})
-
-    manager.on_new_joiner_session = observed_joiner
-
-    original_replay = manager._start_replay
-
-    def observed_replay():
-        tracer.emit(site, "replay", "start")
-        original_replay()
-
-    manager._start_replay = observed_replay
-
-    original_caught_up = manager._on_caught_up
-
-    def observed_caught_up():
-        tracer.emit(site, "replay", "caught_up")
-        original_caught_up()
-
-    manager._on_caught_up = observed_caught_up
+    # Reconfiguration-phase events (transfer accept, replay start/end,
+    # crash/restart status) are emitted by the base tracer itself — see
+    # repro.tracing._instrument_node — so epoch analytics works on every
+    # traced run, not only fully-observed ones.

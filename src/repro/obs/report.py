@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Tuple
 
+from repro.obs.epochs import (blocked_windows, extract_epochs,
+                              render_epoch_table)
 from repro.obs.export import RunData
 from repro.obs.spans import Span
 from repro.workload.metrics import summarize_latencies
@@ -149,6 +151,12 @@ def render_summary(run: RunData) -> str:
                          f"{commits:8d} {recoveries:11d} {rec_time:11.4f}")
         lines.append("")
 
+    epochs = extract_epochs(run.events,
+                            end_time=meta.get("virtual_time"))
+    if epochs:
+        lines.append(render_epoch_table(epochs, limit=12))
+        lines.append("")
+
     samples = availability_samples(run)
     if samples:
         deltas = sorted(b[0] - a[0] for a, b in zip(samples, samples[1:])
@@ -162,4 +170,51 @@ def render_summary(run: RunData) -> str:
     lines.append(f"{len(run.spans)} spans total "
                  f"({txn_spans} transaction, {reconfig_spans} reconfiguration), "
                  f"{len(run.events)} trace events")
+    return "\n".join(lines)
+
+
+def render_one_screen(run: RunData) -> str:
+    """``repro report --summary``: the whole run on one screen —
+    commits, aborts, availability, epoch count and the worst epoch."""
+    meta = run.meta
+    counters: Dict[str, Any] = dict(run.metrics.get("counters", {}))
+    virtual_time = float(meta.get("virtual_time", 0.0)) or 1.0
+    commits = int(counters.get("txn.commits", 0))
+    aborts = int(counters.get("txn.aborts", 0))
+    epochs = extract_epochs(run.events, end_time=meta.get("virtual_time"))
+    downtime = sum(e.duration for e in epochs)
+    samples = availability_samples(run)
+    windows = blocked_windows(run.events)
+    blocked = sum(end - start for start, end in windows)
+
+    width = 58
+    rows = [
+        ("run", str(meta.get("name", "repro run"))),
+        ("virtual time", f"{virtual_time:.3f} s"),
+        ("sites", ",".join(meta.get("sites", run.sites()))),
+        ("commits", f"{commits}  ({commits / virtual_time:.1f}/s)"),
+        ("aborts", str(aborts)),
+        ("reconfig epochs", f"{len(epochs)}"
+         + (f"  ({sum(1 for e in epochs if e.truncated)} truncated)"
+            if any(e.truncated for e in epochs) else "")),
+        ("total downtime", f"{downtime:.3f} s"),
+    ]
+    if samples:
+        serving = [c for t, c, m in samples if not m]
+        zero = sum(1 for c in serving if c == 0)
+        availability = (1 - zero / len(serving)) if serving else 1.0
+        rows.append(("availability", f"{availability * 100:.1f}% of bins "
+                     f"serving ({blocked:.2f} s blocked)"))
+    worst = max(epochs, key=lambda e: e.duration, default=None)
+    if worst is not None:
+        phases = worst.phase_durations()
+        dominant = max(phases, key=lambda name: phases[name])
+        rows.append(("worst epoch",
+                     f"{worst.site} {worst.trigger} {worst.duration:.3f} s "
+                     f"(mostly {dominant}: {phases[dominant]:.3f} s)"))
+    lines = ["=" * width]
+    lines += [f"  {label:16s} {value}" for label, value in rows]
+    lines.append("=" * width)
+    if epochs:
+        lines.append(render_epoch_table(epochs, limit=6))
     return "\n".join(lines)

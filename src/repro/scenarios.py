@@ -138,6 +138,7 @@ def run_figure1_scenario(
     check: bool = True,
     batching: bool = True,
     backend: Optional[str] = None,
+    profile: bool = False,
 ) -> ScenarioReport:
     """The cascading reconfiguration of Figure 1 (and, in EVS mode, the
     encapsulated equivalent of Figure 2) on five sites:
@@ -154,6 +155,13 @@ def run_figure1_scenario(
         n_sites=5, db_size=db_size, seed=seed, strategy=strategy, mode=mode,
         node_config=node_config, batching=batching, backend=backend,
     ).build()
+    from repro.tracing import attach_tracer
+
+    attach_tracer(cluster)
+    if profile:
+        from repro.obs.profile import attach_profiler
+
+        attach_profiler(cluster)
     cluster.start()
     if not cluster.await_all_active(timeout=15):
         raise RuntimeError("bootstrap failed")
@@ -246,6 +254,12 @@ def run_recovery_experiment(
         n_sites=n_sites, db_size=db_size, seed=seed, strategy=strategy, mode=mode,
         node_config=node_config, batching=batching, backend=backend,
     ).build()
+    # The bare tracer is observation-equivalent (no RNG draws, no
+    # scheduling) and feeds the epoch phase decomposition the E7 sweep
+    # and the bench payloads report.
+    from repro.tracing import attach_tracer
+
+    tracer = attach_tracer(cluster)
     cluster.start()
     if not cluster.await_all_active(timeout=15):
         raise RuntimeError("bootstrap failed")
@@ -314,4 +328,23 @@ def run_recovery_experiment(
             ),
         }
     )
+    from repro.obs.epochs import extract_epochs
+
+    epochs = extract_epochs(tracer.events, end_time=cluster.sim.now)
+    victim_epochs = [e for e in epochs if e.site == victim]
+    phase_totals = {name: 0.0 for name in
+                    ("down", "membership", "transfer_wait", "transfer",
+                     "replay", "drain")}
+    for epoch in victim_epochs:
+        for name, seconds in epoch.phase_durations().items():
+            phase_totals[name] += seconds
+    report.extra.update({
+        "epoch_count": float(len(epochs)),
+        "epoch_bytes_received": float(
+            sum(e.bytes_received for e in victim_epochs)),
+        "epoch_retransmissions": float(
+            sum(e.retransmissions for e in victim_epochs)),
+        **{f"phase_{name}": seconds
+           for name, seconds in phase_totals.items()},
+    })
     return report

@@ -81,6 +81,11 @@ class Simulator:
         self._running = False
         self.events_processed = 0
         self._trace_hooks: list[Callable[[Event], None]] = []
+        #: Optional cost-attribution layer (repro.obs.profile.SimProfiler).
+        #: When set, the kernel routes each event through
+        #: ``profiler.run_event`` instead of calling it directly; when
+        #: None (the default) the only cost is this attribute check.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -144,7 +149,10 @@ class Simulator:
                 if self._trace_hooks:
                     for hook in self._trace_hooks:
                         hook(event)
-                event.fn(*event.args)
+                if self.profiler is None:
+                    event.fn(*event.args)
+                else:
+                    self.profiler.run_event(event)
                 processed += 1
                 self.events_processed += 1
         finally:
@@ -170,7 +178,10 @@ class Simulator:
             self.now = event.time
             for hook in self._trace_hooks:
                 hook(event)
-            event.fn(*event.args)
+            if self.profiler is None:
+                event.fn(*event.args)
+            else:
+                self.profiler.run_event(event)
             self.events_processed += 1
             return True
         return False

@@ -96,6 +96,16 @@ class Tracer:
                 )
 
 
+def _transfer_snapshot(manager) -> Dict[str, int]:
+    """Receiver-side transfer counters at this instant (embedded in
+    transfer events so epoch analytics can diff them)."""
+    return {
+        "bytes_received": manager.bytes_received_total,
+        "objects_received": manager.objects_received_total,
+        "retransmissions": manager.transfer_retransmissions,
+    }
+
+
 def attach_tracer(cluster) -> Tracer:
     """Instrument every node of a cluster with a shared tracer.
 
@@ -136,6 +146,28 @@ def _instrument_node(tracer: Tracer, node) -> None:
         tracer.emit(site, "status", "active", "up to date")
 
     node._become_active = traced_become_active
+
+    # Fail-stop lifecycle: crash and restart are direct status writes
+    # (no membership change fires at the crashed site), so wrap them to
+    # keep the status timeline complete — the epoch extractor anchors
+    # every crash-triggered epoch on these two events.
+    original_crash = node.crash
+
+    def traced_crash():
+        was_alive = node.alive
+        original_crash()
+        if was_alive:
+            tracer.emit(site, "status", "down", "crashed")
+
+    node.crash = traced_crash
+
+    original_recover = node.recover
+
+    def traced_recover():
+        original_recover()
+        tracer.emit(site, "status", node.status.value, "restarted")
+
+    node.recover = traced_recover
 
     # E-view changes ------------------------------------------------------
     if node.evs_member is not None:
@@ -182,9 +214,42 @@ def _instrument_node(tracer: Tracer, node) -> None:
         if manager.joiner_session is not None and manager.joiner_session.complete:
             tracer.emit(site, "transfer", "complete",
                         f"baseline={msg.baseline_gid}",
-                        data={"baseline": msg.baseline_gid})
+                        data={"baseline": msg.baseline_gid,
+                              **_transfer_snapshot(manager)})
 
     manager._on_transfer_complete = traced_complete
+
+    # Joiner-side lifecycle: accepted offers and the replay that follows
+    # a completed transfer.  The counter snapshots in the event data let
+    # the epoch extractor compute per-epoch transfer economics (bytes,
+    # retransmissions) as deltas, purely from the event stream.
+    original_joiner = manager.on_new_joiner_session
+
+    def traced_joiner():
+        original_joiner()
+        session = manager.joiner_session
+        tracer.emit(site, "transfer", "accept",
+                    data={"peer": None if session is None else session.peer,
+                          **_transfer_snapshot(manager)})
+
+    manager.on_new_joiner_session = traced_joiner
+
+    original_replay = manager._start_replay
+
+    def traced_replay():
+        tracer.emit(site, "replay", "start")
+        original_replay()
+
+    manager._start_replay = traced_replay
+
+    original_caught_up = manager._on_caught_up
+
+    def traced_caught_up():
+        tracer.emit(site, "replay", "caught_up",
+                    data={"replayed": manager.replayed_transactions})
+        original_caught_up()
+
+    manager._on_caught_up = traced_caught_up
 
     original_creation = manager.check_creation
 

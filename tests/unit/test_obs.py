@@ -248,3 +248,35 @@ class TestExporters:
         span = Span(3, "apply", "txn_apply", "S2", 1.0, end=1.5,
                     parent_id=1, attrs={"gid": 7})
         assert Span.from_dict(span.to_dict()) == span
+
+
+class TestMetricKeyPadding:
+    """Metric snapshots are padded to one fixed key set across backends
+    so bench/diff tables stay column-stable (missing counters read 0)."""
+
+    def build(self, backend):
+        from repro import ClusterBuilder
+
+        cluster = ClusterBuilder(n_sites=3, db_size=20, seed=5,
+                                 backend=backend).build()
+        cluster.start()
+        assert cluster.await_all_active(timeout=15)
+        return cluster
+
+    def test_same_key_set_across_backends(self):
+        from repro.obs import collect_cluster_metrics, metric_key_set
+
+        canonical = metric_key_set()
+        for backend in ("vs", "evs", "logless"):
+            metrics = collect_cluster_metrics(self.build(backend))
+            assert set(metrics) == set(canonical), backend
+
+    def test_missing_backend_counters_read_zero(self):
+        from repro.obs import collect_cluster_metrics
+
+        # A VS cluster has no EVS merge or logless consensus counters;
+        # they must still be present, as zeros.
+        metrics = collect_cluster_metrics(self.build("vs"))
+        assert metrics["reconfig.svs_merges"] == 0
+        assert metrics["reconfig.config_proposals"] == 0
+        assert metrics["reconfig.config_conflicts"] == 0
