@@ -396,6 +396,28 @@ def _dump_name(case_id: str, variant: str) -> str:
     return f"{safe}.{variant}.json"
 
 
+def check_dump_dir(dump_dir: Optional[str], force: bool = False) -> None:
+    """Refuse to write into a non-empty dump directory without ``force``.
+
+    Divergence artifacts are only meaningful as a matched pair from one
+    audit run; mixing them with leftovers of an earlier run (or letting
+    stale ones get committed by accident) is exactly how confusing
+    "divergences" end up in review.  Called by the CLI before the audit
+    starts, so the refusal is loud and immediate.
+    """
+    if force or dump_dir is None or not os.path.isdir(dump_dir):
+        return
+    leftover = [name for name in sorted(os.listdir(dump_dir))
+                if not name.startswith(".")]
+    if leftover:
+        raise ValueError(
+            f"dump dir {dump_dir!r} already contains {len(leftover)} "
+            f"file(s) (e.g. {leftover[0]!r}); stale divergence artifacts "
+            f"from an earlier run would be clobbered or mixed in — move "
+            f"them away or pass --force"
+        )
+
+
 def _write_dumps(case_id: str, failure: AuditFailure,
                  variant_pair: Tuple[str, str], dump_dir: str,
                  jobs: int) -> str:

@@ -3,8 +3,8 @@
 Five scenarios, fixed seeds and workloads, so successive runs (and CI
 runs against a committed baseline) measure the same simulation:
 
-* ``throughput`` — 5 sites, steady 400 txn/s OLTP load, no faults; the
-  hot-path scenario the batching work targets.
+* ``throughput`` — 5 sites, steady 900 txn/s OLTP load, no faults; the
+  hot-path scenario the batching and calendar-queue work targets.
 * ``figure1``   — the paper's Figure 1 cascading reconfiguration (VS).
 * ``figure2_evs`` — the same schedule under EVS (Figure 2).
 * ``chaos``     — one pinned seeded fault storm (seed 3).
@@ -160,8 +160,12 @@ def bench_throughput(smoke: bool = False, batching: bool = True,
         attach_profiler(cluster)
     cluster.start()
     completed = cluster.await_all_active(timeout=15)
+    # 900 txn/s: up from the pre-calendar-queue 400 after the
+    # hot-path rewrite — the pinned deterministic commits_per_sim_second
+    # target in BENCH_baseline.json more than doubles with it (see EXPERIMENTS.md
+    # "Hot path, round 2").
     load = LoadGenerator(cluster, WorkloadConfig(
-        arrival_rate=400.0, reads_per_txn=2, writes_per_txn=2))
+        arrival_rate=900.0, reads_per_txn=2, writes_per_txn=2))
     load.start()
     start = time.perf_counter()
     cluster.run_for(duration)
@@ -400,10 +404,26 @@ def compare_to_baseline(results: Dict[str, Any], baseline: Dict[str, Any],
     renamed or dropped scenario must not pass CI unguarded), and a
     scenario present in the results but absent from the baseline (the
     baseline must be regenerated to cover it).
+
+    A baseline whose ``schema`` does not equal ``SCHEMA_VERSION`` fails
+    immediately: comparing against a stale-schema baseline silently
+    skips every gate field added since, which is exactly how a stale
+    baseline once lingered unnoticed.
     """
     failures: List[str] = []
     rows = results.get("scenarios", {})
     base_rows = baseline.get("scenarios", {})
+    base_schema = baseline.get("schema")
+    if base_schema != SCHEMA_VERSION:
+        # A stale baseline silently weakens the gate (fields added since
+        # the baseline's schema are simply never compared), so a schema
+        # mismatch is a hard failure, not a best-effort comparison.
+        failures.append(
+            f"schema mismatch: baseline is schema {base_schema} but the "
+            f"current bench writes schema {SCHEMA_VERSION} — rerun the "
+            f"matrix and commit the fresh results as the new baseline"
+        )
+        return failures
     if "smoke" in results and "smoke" in baseline and \
             bool(results["smoke"]) != bool(baseline["smoke"]):
         failures.append(

@@ -575,6 +575,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
         return 0
     start = time.perf_counter()
     try:
+        audit.check_dump_dir(args.dump_dir, force=args.force)
         outcome = audit.run_audit(case_ids=args.case or None, jobs=args.jobs,
                                   dump_dir=args.dump_dir)
     except ValueError as error:
@@ -871,6 +872,9 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--dump-dir", default="audit_out", metavar="DIR",
                        help="where to write per-variant divergence artifacts "
                             "on failure (default %(default)s)")
+    audit.add_argument("--force", action="store_true",
+                       help="allow writing into a non-empty --dump-dir "
+                            "(stale artifacts there may be overwritten)")
     audit.add_argument("--list", action="store_true",
                        help="list the pinned audit cases and exit")
     audit.set_defaults(fn=_cmd_audit)

@@ -113,8 +113,18 @@ class Database:
 
     def version_check(self, read_set: Dict[str, int]) -> bool:
         """True iff every read version is still current (section 2.2, III.2)."""
+        # Inlined effective_version: max(tag, stored) > read_version is
+        # equivalent to either component exceeding it.  Using the read
+        # version itself as the missing-key default keeps each test to a
+        # single comparison (versions are monotone, so a missing entry
+        # can never exceed anything).
+        tagged = self._tagged_version
+        version_or = self.store.version_or
         for obj, read_version in read_set.items():
-            if self.effective_version(obj) > read_version:
+            if (
+                tagged.get(obj, read_version) > read_version
+                or version_or(obj, read_version) > read_version
+            ):
                 return False
         return True
 

@@ -263,30 +263,61 @@ class LockManager:
         ]
 
     def _grantable(self, request: LockRequest) -> bool:
-        for resource, holders in self._overlapping_items(request.resource):
-            for txn_id, mode in holders.items():
-                if txn_id != request.txn_id and _conflicting(request.mode, mode):
-                    return False
+        txn_id = request.txn_id
+        mode = request.mode
+        resource = request.resource
+        if self._partition_fn is None and resource != DB_RESOURCE:
+            # Fast path mirroring _overlapping_items' common case, but
+            # with no list/tuple allocation: an object lock can only
+            # overlap itself and the database-level lock.
+            exclusive = mode is LockMode.EXCLUSIVE
+            holders = self._holders.get(resource)
+            if holders:
+                for other_txn, other_mode in holders.items():
+                    if other_txn != txn_id and (
+                        exclusive or other_mode is LockMode.EXCLUSIVE
+                    ):
+                        return False
+            db_holders = self._holders.get(DB_RESOURCE)
+            if db_holders:
+                for other_txn, other_mode in db_holders.items():
+                    if other_txn != txn_id and (
+                        exclusive or other_mode is LockMode.EXCLUSIVE
+                    ):
+                        return False
+        else:
+            for _res, holders in self._overlapping_items(resource):
+                for other_txn, other_mode in holders.items():
+                    if other_txn != txn_id and _conflicting(mode, other_mode):
+                        return False
         # FIFO fairness across both levels: never overtake an earlier
         # conflicting waiter (this is what orders a transfer transaction's
         # read locks between pre- and post-view-change writers).
-        for other in self._waiting:
-            if (
-                not other.cancelled
-                and other.ticket < request.ticket
-                and other.txn_id != request.txn_id
-                and self._resources_overlap(request.resource, other.resource)
-                and _conflicting(request.mode, other.mode)
-            ):
-                return False
+        waiting = self._waiting
+        if waiting:
+            ticket = request.ticket
+            for other in waiting:
+                if (
+                    not other.cancelled
+                    and other.ticket < ticket
+                    and other.txn_id != txn_id
+                    and self._resources_overlap(resource, other.resource)
+                    and _conflicting(mode, other.mode)
+                ):
+                    return False
         return True
 
     def _grant(self, request: LockRequest) -> None:
-        holders = self._holders.setdefault(request.resource, {})
+        holders = self._holders.get(request.resource)
+        if holders is None:
+            holders = self._holders[request.resource] = {}
         current = holders.get(request.txn_id)
         if current is None or request.mode is LockMode.EXCLUSIVE:
             holders[request.txn_id] = request.mode
-        self._held_by.setdefault(request.txn_id, set()).add(request.resource)
+        held = self._held_by.get(request.txn_id)
+        if held is None:
+            held = self._held_by[request.txn_id] = set()
+        held.add(request.resource)
         request.granted = True
         request.granted_at = self._clock()
         self.wait_times.append(request.granted_at - request.enqueued_at)

@@ -37,29 +37,75 @@ class Presence:
     epoch: int
 
 
-@dataclass(frozen=True)
 class Data:
-    """A multicast request sent by the originator to the view sequencer."""
+    """A multicast request sent by the originator to the view sequencer.
 
-    sender: str
-    msg_id: int
-    view_id: ViewId
-    payload: Any
+    A hot-path message (one per submitted transaction): a plain
+    ``__slots__`` class rather than a frozen dataclass, because frozen
+    dataclasses pay one ``object.__setattr__`` call per field per
+    construction.  Field order, equality and repr match the previous
+    dataclass form.
+    """
+
+    __slots__ = ("sender", "msg_id", "view_id", "payload")
+
+    def __init__(self, sender: str, msg_id: int, view_id: ViewId,
+                 payload: Any) -> None:
+        self.sender = sender
+        self.msg_id = msg_id
+        self.view_id = view_id
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Data(sender={self.sender!r}, msg_id={self.msg_id!r}, "
+                f"view_id={self.view_id!r}, payload={self.payload!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not Data:
+            return NotImplemented
+        return (self.sender == other.sender and self.msg_id == other.msg_id
+                and self.view_id == other.view_id
+                and self.payload == other.payload)
+
+    def __hash__(self) -> int:
+        return hash((self.sender, self.msg_id, self.view_id))
 
 
-@dataclass(frozen=True)
 class Ordered:
-    """A sequenced message, multicast by the sequencer to all view members."""
+    """A sequenced message, multicast by the sequencer to all view members.
 
-    view_id: ViewId
-    seq: int
-    gseq: int
-    sender: str
-    msg_id: int
-    payload: Any
+    Hot path (one per sequenced message, plus retransmissions): a
+    ``__slots__`` class for the same reason as :class:`Data`.
+    """
+
+    __slots__ = ("view_id", "seq", "gseq", "sender", "msg_id", "payload")
+
+    def __init__(self, view_id: ViewId, seq: int, gseq: int, sender: str,
+                 msg_id: int, payload: Any) -> None:
+        self.view_id = view_id
+        self.seq = seq
+        self.gseq = gseq
+        self.sender = sender
+        self.msg_id = msg_id
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Ordered(view_id={self.view_id!r}, seq={self.seq!r}, "
+                f"gseq={self.gseq!r}, sender={self.sender!r}, "
+                f"msg_id={self.msg_id!r}, payload={self.payload!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not Ordered:
+            return NotImplemented
+        return (self.view_id == other.view_id and self.seq == other.seq
+                and self.gseq == other.gseq and self.sender == other.sender
+                and self.msg_id == other.msg_id
+                and self.payload == other.payload)
+
+    def __hash__(self) -> int:
+        return hash((self.view_id, self.seq, self.gseq))
 
 
-@dataclass
 class OrderedBatch:
     """Several Ordered messages coalesced into one wire message.
 
@@ -76,33 +122,76 @@ class OrderedBatch:
     event ordering at the receivers is identical in both modes — and
     seals ``items``/``ack_high`` at end of tick, before any delivery can
     fire.
+
+    ``ack_high`` piggybacks the sequencer's cumulative ack (-1 = none):
+    its own highwater advances when it sequences, and the ack it would
+    broadcast travels at the same tick as the batch anyway, so it rides
+    along instead of being a separate wire message.
     """
 
-    view_id: ViewId
-    items: Tuple[Ordered, ...]
-    #: Piggybacked cumulative ack of the sequencer (-1 = none): the
-    #: sequencer's own highwater advances when it sequences, and the ack
-    #: it would broadcast travels at the same tick as the batch anyway,
-    #: so it rides along instead of being a separate wire message.
-    ack_high: int = -1
+    __slots__ = ("view_id", "items", "ack_high")
+
+    def __init__(self, view_id: ViewId, items: Tuple[Ordered, ...],
+                 ack_high: int = -1) -> None:
+        self.view_id = view_id
+        self.items = items
+        self.ack_high = ack_high
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"OrderedBatch(view_id={self.view_id!r}, "
+                f"items={self.items!r}, ack_high={self.ack_high!r})")
 
 
-@dataclass(frozen=True)
 class Ack:
-    """Cumulative acknowledgement: 'I hold all Ordered up to highwater'."""
+    """Cumulative acknowledgement: 'I hold all Ordered up to highwater'.
 
-    sender: str
-    view_id: ViewId
-    highwater: int
+    The single most frequent wire message — a ``__slots__`` class.
+    """
+
+    __slots__ = ("sender", "view_id", "highwater")
+
+    def __init__(self, sender: str, view_id: ViewId, highwater: int) -> None:
+        self.sender = sender
+        self.view_id = view_id
+        self.highwater = highwater
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Ack(sender={self.sender!r}, view_id={self.view_id!r}, "
+                f"highwater={self.highwater!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not Ack:
+            return NotImplemented
+        return (self.sender == other.sender and self.view_id == other.view_id
+                and self.highwater == other.highwater)
+
+    def __hash__(self) -> int:
+        return hash((self.sender, self.view_id, self.highwater))
 
 
-@dataclass(frozen=True)
 class Nak:
     """Request to the sequencer for retransmission of missing sequence numbers."""
 
-    sender: str
-    view_id: ViewId
-    missing: Tuple[int, ...]
+    __slots__ = ("sender", "view_id", "missing")
+
+    def __init__(self, sender: str, view_id: ViewId,
+                 missing: Tuple[int, ...]) -> None:
+        self.sender = sender
+        self.view_id = view_id
+        self.missing = missing
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Nak(sender={self.sender!r}, view_id={self.view_id!r}, "
+                f"missing={self.missing!r})")
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not Nak:
+            return NotImplemented
+        return (self.sender == other.sender and self.view_id == other.view_id
+                and self.missing == other.missing)
+
+    def __hash__(self) -> int:
+        return hash((self.sender, self.view_id, self.missing))
 
 
 @dataclass(frozen=True)

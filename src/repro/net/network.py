@@ -50,9 +50,16 @@ class Endpoint:
     it only while `up` is True.  Bytes counters support the benchmarks.
     """
 
-    def __init__(self, network: "Network", node_id: str) -> None:
+    def __init__(self, network: "Network", node_id: str, index: int) -> None:
         self.network = network
         self.node_id = node_id
+        #: Dense creation-order index into the network's flat per-endpoint
+        #: arrays (component membership); hot paths use it instead of
+        #: hashing the node-id string.
+        self.index = index
+        #: Precomputed schedule label for coalesced delivery events, so
+        #: the send fast path never formats a string.
+        self.batch_label = f"net batch ->{node_id}"
         self.up = False
         #: Reliable endpoints model a TCP-like transport (the paper's data
         #: transfer channel): messages between two reliable endpoints are
@@ -103,8 +110,19 @@ class Network:
         #: the fault model is unchanged; only the event count drops.
         self.coalesce = coalesce
         self._endpoints: Dict[str, Endpoint] = {}
-        self._component: Dict[str, int] = {}
-        self._pending_batches: Dict[Tuple[str, float], List[Tuple[str, Any]]] = {}
+        #: Endpoints in creation order; ``_eps[ep.index] is ep``.
+        self._eps: List[Endpoint] = []
+        #: Component id per endpoint index (flat array, not a dict).
+        self._component: List[int] = []
+        #: Pending coalesced deliveries keyed by (dst index, arrival
+        #: time).  Batches are flat interleaved lists
+        #: ``[src_ep, payload, src_ep, payload, ...]`` — no per-message
+        #: tuple allocation on the send path.
+        self._pending_batches: Dict[Tuple[int, float], List[Any]] = {}
+        #: Memoized fan-out resolution: destination tuple -> endpoint
+        #: tuple.  Safe because endpoints are never removed and liveness/
+        #: partition state is read from the endpoints at send time.
+        self._fanout: Dict[Tuple[str, ...], Tuple[Endpoint, ...]] = {}
         self.messages_in_flight = 0
         self.messages_dropped = 0
         self.messages_delivered = 0
@@ -149,10 +167,13 @@ class Network:
     # ------------------------------------------------------------------
     def endpoint(self, node_id: str) -> Endpoint:
         """Create (or return) the endpoint for ``node_id``."""
-        if node_id not in self._endpoints:
-            self._endpoints[node_id] = Endpoint(self, node_id)
-            self._component[node_id] = 0
-        return self._endpoints[node_id]
+        ep = self._endpoints.get(node_id)
+        if ep is None:
+            ep = Endpoint(self, node_id, len(self._eps))
+            self._endpoints[node_id] = ep
+            self._eps.append(ep)
+            self._component.append(0)
+        return ep
 
     @property
     def node_ids(self) -> List[str]:
@@ -181,24 +202,29 @@ class Network:
                 if node in assignment:
                     raise ValueError(f"node {node} listed in two partition groups")
                 assignment[node] = index
-        for node in self._endpoints:
-            self._component[node] = assignment.get(node, -1 - len(assignment))
         # Unlisted nodes each get their own singleton component.
-        fresh = len(list(assignment))
-        for node in self._endpoints:
-            if node not in assignment:
+        fresh = len(assignment)
+        for ep in self._eps:
+            if ep.node_id in assignment:
+                self._component[ep.index] = assignment[ep.node_id]
+            else:
                 fresh += 1
-                self._component[node] = fresh
+                self._component[ep.index] = fresh
 
     def heal(self) -> None:
         """Merge all components back into one connected network."""
-        for node in self._component:
-            self._component[node] = 0
+        component = self._component
+        for index in range(len(component)):
+            component[index] = 0
+
+    def _component_of(self, node_id: str) -> Optional[int]:
+        ep = self._endpoints.get(node_id)
+        return None if ep is None else self._component[ep.index]
 
     def reachable(self, a: str, b: str) -> bool:
         if a == b:
             return True
-        return self._component.get(a) == self._component.get(b)
+        return self._component_of(a) == self._component_of(b)
 
     # ------------------------------------------------------------------
     # Message transport
@@ -215,8 +241,9 @@ class Network:
             return
         source.messages_sent += 1
         dest = self._endpoints.get(dst)
+        component = self._component
         if dest is None or (
-            src != dst and self._component.get(src) != self._component.get(dst)
+            dest is not source and component[source.index] != component[dest.index]
         ):
             self.messages_dropped += 1
             return
@@ -234,7 +261,7 @@ class Network:
             if delay < 0.0:
                 delay = 0.0
             if self.coalesce:
-                self._enqueue_delivery(src, dst, delay, payload)
+                self._enqueue_delivery(source, dest, delay, payload)
             else:
                 self.sim.schedule(delay, self._arrive, src, dst, payload,
                                   label=f"net {src}->{dst}")
@@ -255,7 +282,7 @@ class Network:
             self.messages_in_flight += 1
             this_delay = max(this_delay, 0.0)
             if self.coalesce:
-                self._enqueue_delivery(src, dst, this_delay, payload)
+                self._enqueue_delivery(source, dest, this_delay, payload)
             else:
                 self.sim.schedule(this_delay, self._arrive, src, dst, payload,
                                   label=f"net {src}->{dst}")
@@ -275,82 +302,106 @@ class Network:
             for dst in dsts:
                 self.send(src, dst, payload)
             return
-        endpoints = self._endpoints
+        dests = self._fanout.get(dsts) if type(dsts) is tuple else None
+        if dests is None:
+            resolved = tuple(self._endpoints.get(d) for d in dsts)
+            if None in resolved:
+                # Unknown destination: take the generic per-destination
+                # path so drop accounting matches plain send().
+                for dst in dsts:
+                    self.send(src, dst, payload)
+                return
+            dests = resolved
+            if type(dsts) is tuple:
+                self._fanout[dsts] = dests
         component = self._component
-        src_component = component.get(src)
+        src_component = component[source.index]
         sample = self.latency.sample
         rng = self.sim.rng
         now = self.sim.now
         pending = self._pending_batches
-        for dst in dsts:
-            source.messages_sent += 1
-            dest = endpoints.get(dst)
-            if dest is None or (
-                src != dst and component.get(dst) != src_component
-            ):
+        schedule = self.sim.schedule
+        arrive_batch = self._arrive_batch
+        source.messages_sent += len(dests)
+        for dest in dests:
+            if dest is not source and component[dest.index] != src_component:
                 self.messages_dropped += 1
                 continue
             delay = sample(rng)
             self.messages_in_flight += 1
             if delay < 0.0:
                 delay = 0.0
-            key = (dst, now + delay)
+            key = (dest.index, now + delay)
             batch = pending.get(key)
             if batch is None:
-                pending[key] = [(src, payload)]
-                self.sim.schedule(delay, self._arrive_batch, key,
-                                  label=f"net batch ->{dst}")
+                pending[key] = [source, payload]
+                schedule(delay, arrive_batch, key, label=dest.batch_label)
             else:
-                batch.append((src, payload))
+                batch.append(source)
+                batch.append(payload)
 
-    def _enqueue_delivery(self, src: str, dst: str, delay: float, payload: Any) -> None:
+    def _enqueue_delivery(self, source: Endpoint, dest: Endpoint,
+                          delay: float, payload: Any) -> None:
         """Append to the (dst, arrival-time) batch, creating its single
         delivery event on first use.  Per-destination send order is
         preserved: batches deliver their messages in append order, and a
         batch fires at the heap position of its first message."""
         arrival = self.sim.now + delay
-        key = (dst, arrival)
+        key = (dest.index, arrival)
         batch = self._pending_batches.get(key)
         if batch is None:
-            self._pending_batches[key] = [(src, payload)]
+            self._pending_batches[key] = [source, payload]
             self.sim.schedule(delay, self._arrive_batch, key,
-                              label=f"net batch ->{dst}")
+                              label=dest.batch_label)
         else:
-            batch.append((src, payload))
+            batch.append(source)
+            batch.append(payload)
 
-    def _arrive_batch(self, key: Tuple[str, float]) -> None:
-        dst = key[0]
+    def _arrive_batch(self, key: Tuple[int, float]) -> None:
         batch = self._pending_batches.pop(key)
-        count = len(batch)
+        count = len(batch) >> 1
         if count > 1:
             self.delivery_batches += 1
         obs = self.obs
         if obs is not None:
             obs.on_batch(count)
         self.messages_in_flight -= count
-        endpoint = self._endpoints.get(dst)
-        if endpoint is None:
-            self.messages_dropped += count
-            return
+        endpoint = self._eps[key[0]]
+        dst = endpoint.node_id
         # Destination-side state is hoisted out of the loop; partitions
         # and crashes only change between simulator events, never within
-        # this one.  Per-message source reachability still applies.
+        # this one.  Per-message source reachability still applies, and
+        # ``endpoint.up`` is re-read per message: delivering an earlier
+        # message in the batch may crash the destination.
         component = self._component
-        dst_component = component.get(dst)
+        dst_component = component[endpoint.index]
         taps = self._taps
-        for src, payload in batch:
+        delivered = 0
+        dropped = 0
+        index = 0
+        end = len(batch)
+        while index < end:
+            source = batch[index]
+            payload = batch[index + 1]
+            index += 2
             if not endpoint.up or (
-                src != dst and component.get(src) != dst_component
+                source is not endpoint
+                and component[source.index] != dst_component
             ):
-                self.messages_dropped += 1
+                dropped += 1
                 continue
-            self.messages_delivered += 1
+            delivered += 1
             if obs is not None:
                 obs.on_deliver(payload)
             if taps:
                 for tap in taps:
-                    tap(src, dst, payload)
-            endpoint._deliver(src, payload)
+                    tap(source.node_id, dst, payload)
+            handler = endpoint._handler
+            if handler is not None:
+                endpoint.messages_received += 1
+                handler(source.node_id, payload)
+        self.messages_delivered += delivered
+        self.messages_dropped += dropped
 
     def _arrive(self, src: str, dst: str, payload: Any) -> None:
         self._deliver_one(src, dst, payload)
@@ -359,7 +410,7 @@ class Network:
         self.messages_in_flight -= 1
         endpoint = self._endpoints.get(dst)
         if endpoint is None or not endpoint.up or (
-            src != dst and self._component.get(src) != self._component.get(dst)
+            src != dst and self._component_of(src) != self._component[endpoint.index]
         ):
             self.messages_dropped += 1
             return
@@ -381,6 +432,6 @@ class Network:
     def components(self) -> List[Set[str]]:
         """Current partition components (only nodes with endpoints)."""
         by_component: Dict[int, Set[str]] = {}
-        for node, component in self._component.items():
-            by_component.setdefault(component, set()).add(node)
+        for ep in self._eps:
+            by_component.setdefault(self._component[ep.index], set()).add(ep.node_id)
         return [members for _, members in sorted(by_component.items())]

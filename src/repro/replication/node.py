@@ -770,13 +770,9 @@ class ReplicatedDatabaseNode:
         # values seen are exactly those of the serial gid-order execution.
         if message.deferred_reads and message.origin == self.site_id:
             delivered.pending_reads = set(message.deferred_reads)
+            on_grant = self._make_deferred_read_handler(gid)
             for obj in message.deferred_reads:
-                self.db.locks.request(
-                    owner,
-                    obj,
-                    LockMode.SHARED,
-                    self._make_deferred_read_handler(gid, obj),
-                )
+                self.db.locks.request(owner, obj, LockMode.SHARED, on_grant)
 
         if not writes:
             if not delivered.pending_reads:
@@ -787,13 +783,12 @@ class ReplicatedDatabaseNode:
         delivered.pending_writes = set(writes)
         if self.config.batch_writes:
             delivered.ungranted_writes = set(writes)
+            # One shared grant handler per transaction (the granted
+            # request carries the resource), not one closure per write.
+            on_grant = self._make_bulk_grant_handler(gid)
+            request = self.db.locks.request
             for obj in writes:
-                self.db.locks.request(
-                    owner,
-                    obj,
-                    LockMode.EXCLUSIVE,
-                    self._make_bulk_grant_handler(gid, obj),
-                )
+                request(owner, obj, LockMode.EXCLUSIVE, on_grant)
         else:
             for obj, value in writes.items():
                 self.db.locks.request(
@@ -858,12 +853,12 @@ class ReplicatedDatabaseNode:
 
         return on_grant
 
-    def _make_bulk_grant_handler(self, gid: int, obj: str):
-        def on_grant(_request) -> None:
+    def _make_bulk_grant_handler(self, gid: int):
+        def on_grant(request) -> None:
             delivered = self._delivered.get(gid)
             if delivered is None or delivered.rolled_back:
                 return
-            delivered.ungranted_writes.discard(obj)
+            delivered.ungranted_writes.discard(request.resource)
             if not delivered.ungranted_writes:
                 # All write locks held as of now; one write phase applies
                 # the whole write set after a single write_op_time — the
@@ -907,9 +902,10 @@ class ReplicatedDatabaseNode:
         if not delivered.pending_reads:
             self._commit_delivered(gid)
 
-    def _make_deferred_read_handler(self, gid: int, obj: str):
-        def on_grant(_request) -> None:
-            self.proc.after(self.config.read_op_time, self._apply_deferred_read, gid, obj)
+    def _make_deferred_read_handler(self, gid: int):
+        def on_grant(request) -> None:
+            self.proc.after(self.config.read_op_time, self._apply_deferred_read,
+                            gid, request.resource)
 
         return on_grant
 

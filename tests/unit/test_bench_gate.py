@@ -16,6 +16,7 @@ from repro.bench import (
     DEFAULT_SIM_TOLERANCE,
     DEFAULT_TOLERANCE,
     SCENARIOS,
+    SCHEMA_VERSION,
     compare_to_baseline,
     run_matrix,
     validate_scenarios,
@@ -30,14 +31,39 @@ def row(sim=100.0, wall=50.0, completed=True):
     }
 
 
-def payload(smoke=True, **scenarios):
-    return {"smoke": smoke, "scenarios": scenarios}
+def payload(smoke=True, schema=SCHEMA_VERSION, **scenarios):
+    return {"smoke": smoke, "schema": schema, "scenarios": scenarios}
 
 
 class TestCompareToBaseline:
     def test_identical_payloads_pass(self):
         base = payload(a=row(), b=row())
         assert compare_to_baseline(payload(a=row(), b=row()), base) == []
+
+    def test_stale_schema_baseline_fails_loudly(self):
+        # The exact bug this gate exists for: a baseline left behind at
+        # an older schema must never be silently compared again.
+        failures = compare_to_baseline(
+            payload(a=row()), payload(schema=SCHEMA_VERSION - 1, a=row()))
+        assert len(failures) == 1
+        assert "schema mismatch" in failures[0]
+        assert f"schema {SCHEMA_VERSION - 1}" in failures[0]
+        assert f"schema {SCHEMA_VERSION}" in failures[0]
+
+    def test_schema_mismatch_short_circuits_other_gates(self):
+        # One loud failure, not a pile of bogus per-scenario ones.
+        failures = compare_to_baseline(
+            payload(a=row(sim=1.0, wall=1.0)),
+            payload(schema=SCHEMA_VERSION - 1, b=row()))
+        assert len(failures) == 1
+        assert "schema mismatch" in failures[0]
+
+    def test_baseline_without_schema_key_fails(self):
+        base = {"smoke": True, "scenarios": {"a": row()}}
+        failures = compare_to_baseline(payload(a=row()), base)
+        assert len(failures) == 1
+        assert "schema mismatch" in failures[0]
+        assert "schema None" in failures[0]
 
     def test_scenario_missing_from_results_fails(self):
         failures = compare_to_baseline(

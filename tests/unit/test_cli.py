@@ -101,3 +101,36 @@ class TestChaosObservability:
         monkeypatch.chdir(tmp_path)
         assert main(["chaos", "--seed", "3", "--duration", "2.0"]) == 0
         assert list(tmp_path.iterdir()) == []
+
+
+class TestAuditDumpDirGuard:
+    """The audit CLI must refuse to clobber a non-empty --dump-dir."""
+
+    def test_check_dump_dir_refuses_non_empty(self, tmp_path):
+        from repro.audit import check_dump_dir
+
+        (tmp_path / "old_case.a.json").write_text("{}")
+        with pytest.raises(ValueError, match="--force"):
+            check_dump_dir(str(tmp_path))
+
+    def test_check_dump_dir_allows_force_empty_and_missing(self, tmp_path):
+        from repro.audit import check_dump_dir
+
+        (tmp_path / "old_case.a.json").write_text("{}")
+        check_dump_dir(str(tmp_path), force=True)
+        empty = tmp_path / "fresh"
+        empty.mkdir()
+        check_dump_dir(str(empty))
+        check_dump_dir(str(tmp_path / "not-there"))
+        check_dump_dir(None)
+
+    def test_audit_cli_exits_2_before_running_any_case(self, capsys, tmp_path):
+        (tmp_path / "stale.b.json").write_text("{}")
+        assert main(["audit", "--case", "bench:chaos",
+                     "--dump-dir", str(tmp_path)]) == 2
+        err = capsys.readouterr().err
+        assert "--force" in err and "stale.b.json" in err
+
+    def test_audit_cli_force_accepted_by_parser(self):
+        args = build_parser().parse_args(["audit", "--force"])
+        assert args.force is True
