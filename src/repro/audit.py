@@ -154,6 +154,15 @@ def _build_cases() -> Dict[str, AuditCase]:
                            kind="endurance",
                            params={"seed": 0, "backend": "logless",
                                    "duration": 6.0}))
+    # Schedules pinned by the adversarial search (repro.search.pinned):
+    # each is one exact genome whose replay — the very property the
+    # search's corpus and minimal-repro artifacts rely on — must stay
+    # byte-identical.  The variant-"b" sabotage hook perturbs the
+    # genome's seed, so the non-vacuity self-test covers this kind too.
+    for pinned_name in ("utd-flush-clobber", "shatter-corrupt-churn"):
+        cases.append(AuditCase(case_id=f"schedule:{pinned_name}",
+                               kind="schedule",
+                               params={"pinned": pinned_name}))
     return {case.case_id: case for case in cases}
 
 
@@ -287,6 +296,22 @@ def execute_variant(case_id: str, variant: str,
         schedule = [f"{time:.6f} {action} {detail}"
                     for time, action, detail in report.events]
         return _collect(engine.cluster, tracer=report.tracer,
+                        schedule=schedule, ok=report.ok, materials=materials)
+    if case.kind == "schedule":
+        from dataclasses import replace as dc_replace
+
+        from repro.search.executor import ScheduleExecutor
+        from repro.search.pinned import PINNED
+
+        genome = PINNED[case.params["pinned"]].genome
+        params = _sabotaged({"seed": genome.seed}, variant)
+        if params["seed"] != genome.seed:
+            genome = dc_replace(genome, seed=params["seed"])
+        executor = ScheduleExecutor(genome)
+        report = executor.run()
+        schedule = [f"{time:.6f} {action} {detail}"
+                    for time, action, detail in report.events]
+        return _collect(executor.cluster, tracer=report.tracer,
                         schedule=schedule, ok=report.ok, materials=materials)
     raise ValueError(f"unknown case kind {case.kind!r}")
 

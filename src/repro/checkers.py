@@ -246,8 +246,88 @@ def check_exactly_once(history: HistoryRecorder, sessions) -> None:
             # case was already rejected above.
 
 
+@dataclass(frozen=True)
+class AvailabilityWindow:
+    """One contiguous zero-commit span of an availability timeline.
+
+    ``covered`` classifies the window against the run's reconfiguration
+    epochs (when the caller supplies them): ``True`` means every second
+    of the dark span is explained by an epoch interval (the cluster was
+    *blocked* by an in-progress reconfiguration), ``False`` means part
+    of it is *uncovered* — dark time no epoch accounts for, the kind of
+    gap that exposed the storm-epoch model (see
+    :mod:`repro.obs.epochs`).  ``None`` means unclassified.
+    """
+
+    start: float
+    end: float
+    covered: Optional[bool] = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def describe(self) -> str:
+        label = {True: " [blocked]", False: " [uncovered]", None: ""}
+        return (f"t={self.start:.3f}..t={self.end:.3f} "
+                f"({self.duration:.3f}s){label[self.covered]}")
+
+
+def availability_violations(samples, window: float, bin_width: float,
+                            warmup: float = 0.0, min_span: Optional[float] = None,
+                            epochs=None) -> List[AvailabilityWindow]:
+    """Every zero-commit span of an availability timeline, longest first.
+
+    ``samples`` is the endurance timeline: ``(time, commits,
+    maintenance)`` bins where ``time`` is the virtual end of the bin.
+    Maintenance bins and the ``warmup`` prefix break a span without
+    counting toward it, exactly as in :func:`check_availability_floor`.
+    A zero bin ending at ``t`` darkens ``[t - bin_width, t]``; adjacent
+    zero bins merge.
+
+    ``min_span`` filters the result (default: ``window``, i.e. only the
+    floor *violations*); pass ``bin_width`` to get every dark span — the
+    schedule search scores partial damage from the full list.  When
+    ``epochs`` (:class:`repro.obs.epochs.EpochRecord` sequence) is
+    given, each window is classified blocked/uncovered via
+    :func:`repro.obs.epochs.uncovered_blocked_time` with one bin of
+    slack.
+    """
+    if window <= 0 or bin_width <= 0:
+        raise ValueError("window and bin_width must be positive")
+    if min_span is None:
+        min_span = window
+    spans: List[Tuple[float, float]] = []
+    gap_start: Optional[float] = None
+    gap_end: Optional[float] = None
+    for time, commits, maintenance in samples:
+        if time <= warmup or maintenance or commits > 0:
+            if gap_start is not None:
+                spans.append((gap_start, gap_end))
+            gap_start = gap_end = None
+            continue
+        if gap_start is None:
+            gap_start = time - bin_width
+        gap_end = time
+    if gap_start is not None:
+        spans.append((gap_start, gap_end))
+    windows = []
+    for start, end in spans:
+        if end - start < min_span:
+            continue
+        covered = None
+        if epochs is not None:
+            from repro.obs.epochs import uncovered_blocked_time
+
+            covered = uncovered_blocked_time(
+                epochs, [(start, end)], slack=bin_width) == 0.0
+        windows.append(AvailabilityWindow(start, end, covered))
+    windows.sort(key=lambda w: (-w.duration, w.start))
+    return windows
+
+
 def check_availability_floor(samples, window: float, bin_width: float,
-                             warmup: float = 0.0) -> None:
+                             warmup: float = 0.0, epochs=None) -> None:
     """The system never stops serving clients for a whole window.
 
     ``samples`` is the availability timeline of an endurance run: an
@@ -259,23 +339,23 @@ def check_availability_floor(samples, window: float, bin_width: float,
 
     A consecutive run of zero-commit, non-maintenance bins spanning at
     least ``window`` virtual seconds is an availability-floor violation:
-    the cluster went dark under churn instead of riding it out.
+    the cluster went dark under churn instead of riding it out.  The
+    violation reports **every** violating window (longest first, with
+    blocked/uncovered classification when ``epochs`` are supplied), not
+    just the first — the schedule search ranks schedules by total
+    damage, and a one-window error would hide most of it.
     """
-    if window <= 0 or bin_width <= 0:
-        raise ValueError("window and bin_width must be positive")
-    gap_start = None
-    for time, commits, maintenance in samples:
-        if time <= warmup or maintenance or commits > 0:
-            gap_start = None
-            continue
-        if gap_start is None:
-            gap_start = time - bin_width
-        if time - gap_start >= window:
-            raise ConsistencyViolation(
-                f"availability floor violated: no client commit from "
-                f"t={gap_start:.3f} to t={time:.3f} "
-                f"({time - gap_start:.3f}s >= window {window:g}s)"
-            )
+    violations = availability_violations(samples, window, bin_width,
+                                         warmup=warmup, epochs=epochs)
+    if not violations:
+        return
+    worst = violations[0]
+    detail = "; ".join(w.describe() for w in violations)
+    raise ConsistencyViolation(
+        f"availability floor violated: no client commit for "
+        f"{worst.duration:.3f}s >= window {window:g}s in "
+        f"{len(violations)} window(s): {detail}"
+    )
 
 
 def run_all_checks(history: HistoryRecorder, nodes, sessions=None) -> None:

@@ -277,7 +277,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         clients=args.clients, sabotage_dedup=args.sabotage_dedup,
         profile=args.profile,
     )
-    report = ChaosEngine(config).run()
+    engine = ChaosEngine(config)
+    report = engine.run()
     if args.timeline and report.tracer is not None:
         print(report.tracer.timeline())
         print()
@@ -318,6 +319,27 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         print("all correctness checks passed")
     else:
         print(f"FAILURE: {report.error}", file=sys.stderr)
+        import os
+
+        from repro.artifacts import dump_run_artifacts
+
+        out_dir = os.path.join(args.artifacts_dir,
+                               f"chaos-seed{config.seed}-{config.mode}")
+        repro_cmd = (f"PYTHONPATH=src python -m repro chaos "
+                     f"--seed {config.seed} --intensity {config.intensity} "
+                     f"--mode {config.mode} --duration {config.duration} "
+                     f"--clients {config.clients}")
+        for path in dump_run_artifacts(
+            out_dir,
+            title=f"chaos seed={config.seed} FAILED: {report.error}",
+            repro_command=repro_cmd,
+            schedule=report.events,
+            tracer=report.tracer,
+            metrics=report.metrics,
+            cluster=engine.cluster,
+            obs=report.obs,
+        ):
+            print(f"  artifact: {path}", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -607,7 +629,9 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     try:
         report = run_differential(seeds, backends=backends, kind=kind,
-                                  jobs=args.jobs, **overrides)
+                                  jobs=args.jobs,
+                                  artifacts_dir=args.artifacts_dir,
+                                  **overrides)
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -615,11 +639,63 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     print(report.render())
     print(f"({wall:.1f}s wall at --jobs {args.jobs})")
     if not report.ok:
+        for path in report.artifacts:
+            print(f"  artifact: {path}", file=sys.stderr)
         first = report.seeds[0]
         flag = "--endurance " if kind == "endurance" else ""
         print("reproduce: "
               f"python -m repro chaos {flag}--seed {first} "
               f"--backend {report.backends[-1]}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.search import SearchConfig, SearchEngine, replay_schedule
+    from repro.search.genome import SearchSpace
+
+    if args.replay is not None:
+        try:
+            payload = replay_schedule(args.replay, sabotage=args.sabotage)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"error: cannot replay {args.replay}: {error}",
+                  file=sys.stderr)
+            return 2
+        print(f"replayed {args.replay}: genome {payload['genome_digest'][:16]}"
+              f" run digest {payload['run_digest'][:16]}"
+              f" ({payload['virtual_time']:.2f}s virtual)")
+        verdict = "PASS" if payload["ok"] else f"FAIL [{payload['error']}]"
+        print(f"run verdict: {verdict}")
+        if payload["recorded_digest"] is not None:
+            state = "MATCH" if payload["matches"] else "MISMATCH"
+            print(f"recorded digest {payload['recorded_digest'][:16]}: {state}")
+            return 0 if payload["matches"] else 1
+        return 0 if payload["ok"] else 1
+
+    config = (SearchConfig.smoke(seed=args.seed) if args.smoke
+              else SearchConfig(seed=args.seed,
+                                generations=args.generations,
+                                population=args.population,
+                                shrink_budget=args.shrink_budget))
+    config.jobs = args.jobs
+    config.sabotage = args.sabotage
+    config.corpus_dir = args.corpus_dir
+    config.artifacts_dir = args.artifacts_dir
+    config.space = SearchSpace(n_sites=args.sites, mode=args.mode,
+                               backend=args.backend)
+    start = time.perf_counter()
+    report = SearchEngine(config).run()
+    wall = time.perf_counter() - start
+    print(report.summary())
+    for failure in report.failures:
+        print(failure.summary())
+        print(f"  minimal: {failure.minimal.describe()}")
+        for path in failure.artifacts:
+            print(f"  artifact: {path}")
+    for error in report.errors:
+        print(f"error: {error}", file=sys.stderr)
+    if args.corpus_dir is not None:
+        print(f"corpus written to {args.corpus_dir}")
+    print(f"({wall:.1f}s wall at --jobs {args.jobs})")
     return 0 if report.ok else 1
 
 
@@ -855,7 +931,53 @@ def build_parser() -> argparse.ArgumentParser:
                            "for exactly-once coverage (default %(default)s)")
     diff.add_argument("--jobs", type=int, default=1,
                       help="worker processes (default %(default)s)")
+    diff.add_argument("--artifacts-dir", default="diff_out", metavar="DIR",
+                      help="evidence bundle for the first failing cell "
+                           "(default %(default)s)")
     diff.set_defaults(fn=_cmd_diff)
+
+    search = sub.add_parser(
+        "search",
+        help="coverage-guided adversarial chaos search: mutate fault "
+             "schedules, score availability damage + novelty, shrink "
+             "and dump any invariant violation (docs/SEARCH.md)",
+    )
+    search.add_argument("--seed", type=int, default=0,
+                        help="search campaign seed (default %(default)s)")
+    search.add_argument("--generations", type=int, default=4,
+                        help="mutation generations (default %(default)s)")
+    search.add_argument("--population", type=int, default=8,
+                        help="candidates per generation (default %(default)s)")
+    search.add_argument("--smoke", action="store_true",
+                        help="CI preset: 2 generations x 4 candidates, "
+                             "tight shrink budget")
+    search.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per generation "
+                             "(default %(default)s)")
+    search.add_argument("--sites", type=int, default=5,
+                        help="cluster size searched over (default %(default)s)")
+    search.add_argument("--mode", choices=("vs", "evs"), default="vs")
+    search.add_argument("--backend", choices=ALL_BACKEND_NAMES, default=None,
+                        help="reconfiguration backend; overrides --mode")
+    search.add_argument("--corpus-dir", default=None, metavar="DIR",
+                        help="write the corpus (one schedule JSON per entry "
+                             "+ corpus.json index) here")
+    search.add_argument("--artifacts-dir", default="search_out", metavar="DIR",
+                        help="minimal-repro bundles for failing schedules "
+                             "(default %(default)s)")
+    search.add_argument("--shrink-budget", type=int, default=80,
+                        help="max evaluations per failure minimization "
+                             "(default %(default)s)")
+    search.add_argument("--replay", metavar="SCHEDULE.json", default=None,
+                        help="replay one schedule file instead of searching; "
+                             "exits 0 iff the run digest matches the "
+                             "recorded one (or, for bare genomes, iff the "
+                             "run passes)")
+    search.add_argument("--sabotage", action="store_true",
+                        help="canary: run with the outcome-merge sabotage "
+                             "enabled; the search MUST find and shrink a "
+                             "violation, proving it is not vacuous")
+    search.set_defaults(fn=_cmd_search)
 
     audit = sub.add_parser(
         "audit",

@@ -54,6 +54,10 @@ class DifferentialReport:
     #: ``rows[seed][backend]`` -> the engine's payload dict.
     rows: Dict[int, Dict[str, Dict[str, Any]]] = field(default_factory=dict)
     failures: List[str] = field(default_factory=list)
+    #: Evidence bundle paths for the first failing cell (when the sweep
+    #: ran with an ``artifacts_dir``): the cell is re-executed in
+    #: process and dumped through the shared ``repro.artifacts`` path.
+    artifacts: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -141,17 +145,68 @@ def _endurance_params(seed: int, backend: str, overrides: Dict[str, Any]) -> Dic
     return params
 
 
+def _dump_first_failure(report: DifferentialReport, kind: str,
+                        overrides: Dict[str, Any],
+                        artifacts_dir: str) -> List[str]:
+    """Re-run the first failing cell in process and dump its evidence
+    through the shared artifact bundle (worker payloads only carry
+    digests, so the evidence must be regenerated — deterministically,
+    by construction)."""
+    import os
+
+    from repro.artifacts import dump_run_artifacts
+
+    failing = next(
+        ((seed, backend) for seed in report.seeds
+         for backend in report.backends
+         if not report.rows.get(seed, {}).get(backend, {}).get("ok")),
+        None,
+    )
+    if failing is None:
+        return []
+    seed, backend = failing
+    make = _chaos_params if kind == "chaos" else _endurance_params
+    params = make(seed, backend, dict(overrides))
+    if kind == "chaos":
+        from repro.faults.chaos import ChaosConfig, ChaosEngine
+
+        engine = ChaosEngine(ChaosConfig(**params))
+        flag = ""
+    else:
+        from repro.endurance import EnduranceConfig, EnduranceEngine
+
+        engine = EnduranceEngine(EnduranceConfig(**params))
+        flag = "--endurance "
+    run_report = engine.run()
+    out_dir = os.path.join(artifacts_dir, f"diff-{kind}-seed{seed}-{backend}")
+    return dump_run_artifacts(
+        out_dir,
+        title=(f"differential {kind} seed={seed} backend={backend} "
+               f"FAILED: {run_report.error}"),
+        repro_command=(f"PYTHONPATH=src python -m repro chaos {flag}"
+                       f"--seed {seed} --backend {backend}"),
+        schedule=run_report.events,
+        samples=getattr(run_report, "samples", None),
+        tracer=run_report.tracer,
+        metrics=run_report.metrics,
+        cluster=engine.cluster,
+    )
+
+
 def run_differential(
     seeds: Sequence[int],
     backends: Sequence[str] = ("evs", "logless"),
     kind: str = "chaos",
     jobs: int = 1,
+    artifacts_dir: "str | None" = None,
     **overrides: Any,
 ) -> DifferentialReport:
     """Run every seed on every backend and diff the invariant verdicts.
 
     ``kind`` is ``"chaos"`` or ``"endurance"``; ``overrides`` feed the
-    corresponding config (duration, intensity, clients, ...).
+    corresponding config (duration, intensity, clients, ...).  With
+    ``artifacts_dir``, a failing sweep re-runs its first failing cell
+    and leaves the shared evidence bundle there.
     """
     if kind not in ("chaos", "endurance"):
         raise ValueError(f"kind must be 'chaos' or 'endurance', got {kind!r}")
@@ -198,6 +253,9 @@ def run_differential(
                 + ", ".join(f"{b}={'PASS' if v else 'FAIL'}"
                             for b, v in verdicts.items())
             )
+    if not report.ok and artifacts_dir is not None:
+        report.artifacts = _dump_first_failure(report, kind, dict(overrides),
+                                               artifacts_dir)
     return report
 
 

@@ -261,6 +261,17 @@ class EnduranceEngine:
 
     # ------------------------------------------------------------------
     def run(self) -> EnduranceReport:
+        if self._begin():
+            self._drive()
+            self._final_quiesce()
+        return self._finish()
+
+    def _begin(self) -> bool:
+        """Build the cluster, attach the client fleet and the
+        availability sampler.  Returns False when bootstrap failed
+        (``report.error`` is then set).  Shared verbatim with the
+        schedule-search executor, which overrides only :meth:`_drive`
+        and :meth:`_sabotage_victim`."""
         config = self.config
         cluster = self._build()
         from repro.client import ClientFleet, SessionConfig
@@ -272,14 +283,23 @@ class EnduranceEngine:
             session_config=SessionConfig(backoff_jitter=config.backoff_jitter),
         )
         if config.sabotage_outcome_merge:
-            victim = self.rng.choice(list(cluster.universe))
+            victim = self._sabotage_victim()
             cluster.nodes[victim].outcome_merge_disabled = True
             self.note("sabotage", f"outcome merge disabled at {victim}")
         if not cluster.await_all_active(timeout=15):
             self.report.error = "bootstrap failed"
-            return self._finish()
+            return False
         self.fleet.start()
         self._start_sampler()
+        return True
+
+    def _sabotage_victim(self) -> str:
+        return self.rng.choice(list(self.cluster.universe))
+
+    def _drive(self) -> None:
+        """The storm itself: random segment composition for the given
+        duration, with quiescent sweeps at a fixed cadence."""
+        cluster, config = self.cluster, self.config
         end = cluster.sim.now + config.duration
         next_sweep = cluster.sim.now + config.sweep_interval
         while cluster.sim.now < end and self.report.error is None:
@@ -292,8 +312,6 @@ class EnduranceEngine:
             if cluster.sim.now >= next_sweep:
                 self._quiescent_sweep()
                 next_sweep = cluster.sim.now + config.sweep_interval
-        self._final_quiesce()
-        return self._finish()
 
     # ------------------------------------------------------------------
     def _build(self) -> Cluster:
@@ -500,51 +518,25 @@ def repro_command(config: EnduranceConfig) -> str:
 def dump_artifacts(engine: EnduranceEngine, out_dir: str) -> List[str]:
     """Write the failure evidence for one endurance run to ``out_dir``.
 
-    Produces everything needed to diagnose the run offline: the fault
-    schedule, the full trace timeline, the availability timeline, the
-    per-site WAL contents (durable prefix marked), summary metrics, and
-    a one-line repro command.  Returns the paths written.
+    Thin wrapper over the shared :func:`repro.artifacts.dump_run_artifacts`
+    bundle (schedule, trace timeline, availability timeline, per-site
+    WALs, metrics, repro command).  Returns the paths written.
     """
-    import os
+    from repro.artifacts import dump_run_artifacts
 
-    report, config, cluster = engine.report, engine.config, engine.cluster
-    os.makedirs(out_dir, exist_ok=True)
-    written: List[str] = []
-
-    def emit(name: str, text: str) -> None:
-        path = os.path.join(out_dir, name)
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(text if text.endswith("\n") or not text else text + "\n")
-        written.append(path)
-
+    report, config = engine.report, engine.config
     verdict = "PASS" if report.ok else f"FAIL: {report.error}"
-    emit("repro.txt", f"# endurance seed={report.seed} — {verdict}\n"
-                      f"{repro_command(config)}")
-    emit("schedule.txt", "\n".join(
-        f"{time:.6f} {action} {detail}"
-        for time, action, detail in report.events))
-    emit("availability.tsv", "# bin_end\tcommits\tmaintenance\n" + "\n".join(
-        f"{t:.6f}\t{c}\t{int(m)}" for t, c, m in report.samples))
-    if report.tracer is not None:
-        emit("trace.txt", report.tracer.timeline())
-    emit("metrics.txt", "\n".join(
-        f"{key} {value}" for key, value in sorted(report.metrics.items())))
-    if report.obs is not None:
-        path = os.path.join(out_dir, "metrics.prom")
-        report.obs.export_prometheus(path)
-        written.append(path)
-    if cluster is not None:
-        for site in sorted(cluster.universe):
-            storage = cluster.nodes[site].storage
-            lines = [f"# {site}: {len(storage.log)} records, "
-                     f"durable prefix {storage.durable_length}, "
-                     f"{len(storage.checkpoint_image)} checkpointed objects, "
-                     f"{len(storage.outcome_image)} outcome rows"]
-            for index, record in enumerate(storage.records()):
-                durable = "D" if index < storage.durable_length else "-"
-                lines.append(f"{index:6d} {durable} {record!r}")
-            emit(f"wal_{site}.log", "\n".join(lines))
-    return written
+    return dump_run_artifacts(
+        out_dir,
+        title=f"endurance seed={report.seed} — {verdict}",
+        repro_command=repro_command(config),
+        schedule=report.events,
+        samples=report.samples,
+        tracer=report.tracer,
+        metrics=report.metrics,
+        cluster=engine.cluster,
+        obs=report.obs,
+    )
 
 
 def run_endurance(seed: int, **overrides: Any) -> EnduranceReport:

@@ -17,10 +17,93 @@ recovering.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
 from repro.replication.node import SiteStatus
 
 #: Registry used by :class:`repro.endurance.EnduranceConfig.segments`.
 SEGMENT_NAMES = ("rolling", "storm", "churn", "stabilize")
+
+
+# ----------------------------------------------------------------------
+# Concurrent-churn policy
+# ----------------------------------------------------------------------
+def _majority_quorum(n_sites: int) -> int:
+    """Connected sites a primary partition needs to keep serving.
+
+    All three current backends (vs, evs, logless) are majority-based:
+    the primary-partition rule (paper §2, arXiv:2102.11960 for logless)
+    needs strictly more than half of the universe connected."""
+    return n_sites // 2 + 1
+
+
+#: Per-backend quorum rules: backend name -> callable(n_sites) -> sites
+#: that must stay connected for the cluster to keep serving.  Every
+#: current backend is majority-based; a future non-majority backend
+#: (e.g. Matchmaker Paxos with disjoint phase quorums) registers its own
+#: rule here and the churn policy picks it up automatically.
+QUORUM_RULES: Dict[str, Callable[[int], int]] = {
+    "vs": _majority_quorum,
+    "evs": _majority_quorum,
+    "logless": _majority_quorum,
+}
+
+
+def backend_quorum(backend: Optional[str], n_sites: int) -> int:
+    """Quorum size for ``backend`` (majority for unknown/None names)."""
+    rule = QUORUM_RULES.get(backend or "vs", _majority_quorum)
+    return rule(n_sites)
+
+
+@dataclass(frozen=True)
+class ChurnPolicy:
+    """How many sites churn may take out of service *concurrently*.
+
+    The endurance segments above hard-code the historical rule — at most
+    one site outside ACTIVE at a time.  This policy generalises it: the
+    cap is the universe size minus the backend's serving quorum, so a
+    5-site majority cluster may lose 2 sites at once and keep serving.
+    The adversarial schedule search (:mod:`repro.search`) generates and
+    clamps its fault genes against this policy, deliberately pushing
+    churn to the admissible limit.
+
+    ``max_down`` explicitly tightens the derived cap (never widens it);
+    ``respect_creation_majority`` handles the paper's §3 creation rule:
+    without :attr:`repro.replication.node.NodeConfig.creation_majority`,
+    forming a *new* creation round needs every site of the subview set,
+    so concurrent multi-site churn can wedge a post-partition creation —
+    the policy then falls back to the legacy single-site cap.
+    """
+
+    #: Explicit concurrent-down cap; None derives it from the quorum.
+    max_down: Optional[int] = None
+    #: Fall back to the single-site cap when the cluster runs the
+    #: paper's all-sites creation rule (creation_majority=False).
+    respect_creation_majority: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_down is not None and self.max_down < 0:
+            raise ValueError("max_down must be None or >= 0")
+
+    def concurrency_limit(self, n_sites: int, backend: Optional[str] = None,
+                          creation_majority: bool = True) -> int:
+        """Most sites that may be down/isolated at once under this policy."""
+        if n_sites < 1:
+            raise ValueError("n_sites must be >= 1")
+        derived = max(0, n_sites - backend_quorum(backend, n_sites))
+        if self.respect_creation_majority and not creation_majority:
+            derived = min(derived, 1)
+        if self.max_down is not None:
+            derived = min(derived, self.max_down)
+        return derived
+
+    def admits(self, down_now: int, n_sites: int,
+               backend: Optional[str] = None,
+               creation_majority: bool = True) -> bool:
+        """May one *more* site leave service, given ``down_now`` already out?"""
+        return down_now < self.concurrency_limit(n_sites, backend,
+                                                 creation_majority)
 
 
 def _transfer_counts(cluster):

@@ -108,9 +108,18 @@ class StableStateCorruptor:
         #: ``(site, op, detail)`` per corruption applied, in order.
         self.applied = []
 
-    def corrupt(self, storage: PersistentStorage, site: str = "?") -> str:
-        """Apply one random corruption; returns ``"op: detail"``."""
-        op = self.rng.choice(self.OPS)
+    def corrupt(self, storage: PersistentStorage, site: str = "?",
+                op: "str | None" = None) -> str:
+        """Apply one corruption; returns ``"op: detail"``.
+
+        ``op`` pins the operation explicitly (the schedule-search genome
+        carries it as a gene field so a replay makes the identical
+        choice); None keeps the historical random pick."""
+        if op is None:
+            op = self.rng.choice(self.OPS)
+        elif op not in self.OPS:
+            raise ValueError(f"unknown corruption op {op!r}; "
+                             f"valid: {', '.join(self.OPS)}")
         detail = getattr(self, f"_{op}")(storage)
         self.applied.append((site, op, detail))
         return f"{op}: {detail}"

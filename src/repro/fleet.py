@@ -99,6 +99,14 @@ def _run_endurance(params: Dict[str, Any]) -> Dict[str, Any]:
     return payload
 
 
+def _run_search_eval(params: Dict[str, Any]) -> Dict[str, Any]:
+    from repro.search.engine import evaluate_genome
+    from repro.search.genome import ScheduleGenome
+
+    genome = ScheduleGenome.from_dict(params["genome"])
+    return evaluate_genome(genome, sabotage=params.get("sabotage", False))
+
+
 def _run_audit(params: Dict[str, Any]) -> Dict[str, Any]:
     from repro import audit
 
@@ -118,6 +126,7 @@ RUNNERS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "chaos": _run_chaos,
     "endurance": _run_endurance,
     "recovery": _run_recovery,
+    "search_eval": _run_search_eval,
     "audit": _run_audit,
     "probe": _run_probe,
 }

@@ -27,6 +27,8 @@ from repro.obs.epochs import (
     PhaseSlice,
     PHASE_ORDER,
     blocked_windows,
+    epoch_signature,
+    epoch_signatures,
     epoch_summary,
     extract_epochs,
     render_epoch_table,
@@ -82,6 +84,8 @@ __all__ = [
     "blocked_windows",
     "chrome_trace",
     "collect_cluster_metrics",
+    "epoch_signature",
+    "epoch_signatures",
     "epoch_summary",
     "extract_epochs",
     "load_jsonl",

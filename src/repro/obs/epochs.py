@@ -385,6 +385,32 @@ def uncovered_blocked_time(epochs: Sequence[EpochRecord],
 
 
 # ----------------------------------------------------------------------
+# Epoch signatures (novelty feedback for the schedule search)
+# ----------------------------------------------------------------------
+def epoch_signature(epoch: EpochRecord, backend: str = "vs") -> str:
+    """Canonical ``trigger|phase-shape|backend`` signature of one epoch.
+
+    The *phase shape* is the ordered subset of :data:`PHASE_ORDER` the
+    epoch actually spent time in (truncation marked with ``!``) — two
+    epochs with the same trigger but different shapes (say one stalled
+    in ``transfer_wait``, one that never needed a transfer) are
+    different behaviors.  The coverage-guided search
+    (:mod:`repro.search`) treats a never-seen signature as novelty worth
+    keeping a schedule for.
+    """
+    durations = epoch.phase_durations()
+    shape = "+".join(name for name in PHASE_ORDER if durations[name] > 0.0)
+    mark = "!" if epoch.truncated else ""
+    return f"{epoch.trigger}|{shape or 'instant'}{mark}|{backend}"
+
+
+def epoch_signatures(epochs: Sequence[EpochRecord],
+                     backend: str = "vs") -> List[str]:
+    """Sorted, de-duplicated signatures of a run's epochs."""
+    return sorted({epoch_signature(epoch, backend) for epoch in epochs})
+
+
+# ----------------------------------------------------------------------
 # Summaries and rendering
 # ----------------------------------------------------------------------
 def epoch_summary(epochs: Sequence[EpochRecord]) -> Dict[str, Any]:

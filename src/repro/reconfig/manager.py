@@ -34,6 +34,7 @@ from repro.reconfig.transfer import (
     TransferBatch,
     TransferBatchAck,
     TransferComplete,
+    TransferDecline,
     TransferCompleteAck,
     TransferOffer,
     TransferSolicit,
@@ -474,6 +475,19 @@ class BaseReconfigManager:
             return
         if isinstance(payload, TransferOffer):
             if self.node.status not in (SiteStatus.RECOVERING, SiteStatus.SUSPENDED):
+                if self.node.status is SiteStatus.ACTIVE and self.node.up_to_date:
+                    # The peer thinks we need a transfer but we are fully
+                    # caught up (its utd knowledge lagged ours).  Decline
+                    # explicitly so the session — which holds database
+                    # locks from creation — is torn down now instead of
+                    # dangling through the retransmission budget.
+                    self.node.trace(
+                        "view", "xfer_decline",
+                        f"declining offer from {payload.peer}: already active")
+                    self.node.send_transfer(
+                        payload.peer,
+                        TransferDecline(session_id=payload.session_id,
+                                        joiner=self.node.site_id))
                 return
             current = self.joiner_session
             if current is not None and current.session_id == payload.session_id:
@@ -504,6 +518,15 @@ class BaseReconfigManager:
                 self.enqueue_mode = True
             self.on_new_joiner_session()
             self.joiner_session.accept()
+            return
+        if isinstance(payload, TransferDecline):
+            session = self._session_by_id(payload.session_id)
+            if session is not None and session.active:
+                self.node.trace(
+                    "view", "xfer_declined",
+                    f"{payload.joiner} is up to date; dropping session")
+                self.node.site_utd[payload.joiner] = True
+                self.cancel_session(payload.joiner)
             return
         if isinstance(payload, TransferAccept):
             session = self._session_by_id(payload.session_id)

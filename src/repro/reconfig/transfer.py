@@ -213,6 +213,20 @@ class TransferSolicit:
 
 
 @dataclass(frozen=True)
+class TransferDecline:
+    """Addressee -> peer: I am ACTIVE and up to date, the transfer you
+    offered is unnecessary.  Happens when a peer's view of the recipient's
+    up-to-dateness lags (e.g. an announcement that was still in flight
+    when the peer's flushed state was captured).  The peer must tear the
+    session down *immediately* — sessions hold database locks from
+    creation, and a session nobody will ever accept would otherwise pin
+    those locks through the whole retransmission budget."""
+
+    session_id: str
+    joiner: str
+
+
+@dataclass(frozen=True)
 class CatchUpComplete:
     """Joiner -> peer: enqueued transactions replayed; under EVS the peer
     answers with the SubviewMerge that ends reconfiguration."""

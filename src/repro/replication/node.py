@@ -344,6 +344,7 @@ class ReplicatedDatabaseNode:
         self.member.gseq_floor = max(self.member.gseq_floor, recovery.last_delivered_gid + 1)
         self.last_processed_gid = max(self.last_processed_gid, recovery.last_delivered_gid)
         self._start_common()
+        self._delivered_gseq = recovery.last_delivered_gid
         self.up_to_date = False
         if self.reconfig is not None:
             self.reconfig.on_recover(recovery)
@@ -352,6 +353,8 @@ class ReplicatedDatabaseNode:
         self.status = SiteStatus.STALLED
         self.site_covers = {}
         self.site_utd = {}
+        self._utd_asof = {}
+        self._delivered_gseq = -1
         self.proc.start()
         self.proc.every(self.config.checkpoint_interval, self._checkpoint_tick)
         self.proc.every(self.config.rectable_flush_interval, self._rectable_tick)
@@ -449,7 +452,12 @@ class ReplicatedDatabaseNode:
     # GCS application callbacks
     # ------------------------------------------------------------------
     def flush_state(self) -> Dict[str, Any]:
-        repl = {"utd": self.up_to_date, "cover": self.db.cover_gid()}
+        # "asof" stamps how current this snapshot's knowledge is: the
+        # highest gseq processed before the freeze.  Receivers use it to
+        # ignore ``utd`` claims that are provably staler than their own
+        # locally delivered announcements (see _handle_membership_change).
+        repl = {"utd": self.up_to_date, "cover": self.db.cover_gid(),
+                "asof": self._delivered_gseq}
         if self.reconfig is not None:
             # Backend-specific flush keys (empty for vs/evs, so their
             # flushed states stay byte-identical to the pre-backend code).
@@ -459,6 +467,7 @@ class ReplicatedDatabaseNode:
     def on_message(self, sender: str, payload: Any, gseq: int) -> None:
         if self.status in (SiteStatus.DOWN, SiteStatus.STALLED):
             return  # behaves as if failed (section 2.3)
+        self._delivered_gseq = max(self._delivered_gseq, gseq)
         if isinstance(payload, TransactionMessage):
             if self.status is SiteStatus.RECOVERING:
                 if self.reconfig is not None:
@@ -493,6 +502,7 @@ class ReplicatedDatabaseNode:
             self._purge_rectable()
             if isinstance(payload, UpToDateAnnouncement):
                 self.site_utd[payload.site] = True
+                self._utd_asof[payload.site] = gseq
                 if self.status is SiteStatus.SUSPENDED and payload.site != self.site_id:
                     # Someone (e.g. the creation-protocol source) is now
                     # up to date: we can recover from it.
@@ -573,11 +583,26 @@ class ReplicatedDatabaseNode:
             self.up_to_date = False
         primary = self.member.is_primary()
         # Update knowledge about other sites from the flushed states.
+        # Flushed app states are captured at FREEZE time, *before* the
+        # flush cut's still-pending messages are delivered at install —
+        # so a peer's ``utd: False`` claim can be staler than an
+        # UpToDateAnnouncement this site delivered riding the cut.  Each
+        # claim carries the claimant's processed-gseq watermark ("asof");
+        # a negative claim older than our locally delivered announcement
+        # for that site is ignored.  Genuinely fresh downgrades (the
+        # claimant revoked its own up-to-dateness after announcing) have
+        # asof >= the announcement gseq and pass through, and gseq-gap
+        # staleness is overridden by ``stale_members`` right below.
         for site, state in states.items():
             repl = state.get("repl")
             if repl is not None:
                 self.site_covers[site] = repl["cover"]
-                self.site_utd[site] = repl["utd"]
+                claim = repl["utd"]
+                if not claim and (
+                    repl.get("asof", -1) < self._utd_asof.get(site, -1)
+                ):
+                    claim = self.site_utd.get(site, claim)
+                self.site_utd[site] = claim
         # Members the view change itself identified as stale override
         # their own (possibly outdated) up-to-date claims.
         for site in self.member.stale_members:

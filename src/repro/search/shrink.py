@@ -1,0 +1,115 @@
+"""Delta-debugging schedule minimization.
+
+When the search finds a failing schedule, the raw genome is usually
+bloated: most of its genes are along for the ride and only a small core
+actually provokes the violation.  :func:`shrink` minimizes it with the
+classic two-level ddmin loop:
+
+1. **structural** — try removing chunks of genes (halves, quarters, …
+   down to single genes), keeping any removal after which the schedule
+   *still fails*;
+2. **per-gene** — ask each surviving gene for its own strictly-smaller
+   :meth:`reductions` (drop a victim, halve a hold time, un-shatter a
+   partition) and keep those that preserve the failure.
+
+Both levels iterate to a fixpoint (or the evaluation budget).  Progress
+is measured by :meth:`ScheduleGenome.schedule_size` — a lexicographic
+(gene count, summed gene size) metric every accepted step strictly
+decreases, so termination is guaranteed and the result is never larger
+than the input.  The predicate is arbitrary ("this run violates an
+invariant", in the engine's case), so unit tests drive the shrinker with
+synthetic predicates without touching a cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, List, Tuple
+
+from repro.search.genome import Gene, ScheduleGenome
+
+#: predicate(genome) -> True when the schedule still fails (i.e. the
+#: behaviour being minimized is still present).
+Predicate = Callable[[ScheduleGenome], bool]
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        if self.spent >= self.limit:
+            return False
+        self.spent += 1
+        return True
+
+
+def _with_segments(genome: ScheduleGenome,
+                   segments: List[Gene]) -> ScheduleGenome:
+    return replace(genome, segments=tuple(segments))
+
+
+def _ddmin_pass(genome: ScheduleGenome, failing: Predicate,
+                budget: _Budget) -> ScheduleGenome:
+    """One structural pass: chunked gene removal, halving granularity."""
+    segments = list(genome.segments)
+    chunk = max(1, len(segments) // 2)
+    while chunk >= 1 and len(segments) > 1:
+        index = 0
+        removed_any = False
+        while index < len(segments) and len(segments) > 1:
+            trial = segments[:index] + segments[index + chunk:]
+            if not trial:
+                index += chunk
+                continue
+            if not budget.take():
+                return _with_segments(genome, segments)
+            if failing(_with_segments(genome, trial)):
+                segments = trial
+                removed_any = True
+                # keep index: the next chunk slid into this position
+            else:
+                index += chunk
+        if not removed_any:
+            chunk //= 2
+    return _with_segments(genome, segments)
+
+
+def _reduce_genes_pass(
+    genome: ScheduleGenome, failing: Predicate, budget: _Budget,
+) -> ScheduleGenome:
+    """One per-gene pass: try each gene's own strictly-smaller variants."""
+    segments = list(genome.segments)
+    for index in range(len(segments)):
+        progressed = True
+        while progressed:
+            progressed = False
+            for smaller in segments[index].reductions():
+                trial = list(segments)
+                trial[index] = smaller
+                if not budget.take():
+                    return _with_segments(genome, segments)
+                if failing(_with_segments(genome, trial)):
+                    segments = trial
+                    progressed = True
+                    break
+    return _with_segments(genome, segments)
+
+
+def shrink(genome: ScheduleGenome, failing: Predicate,
+           budget: int = 200) -> Tuple[ScheduleGenome, int]:
+    """Minimize ``genome`` while ``failing`` stays True.
+
+    Returns ``(minimal genome, evaluations spent)``.  The input genome
+    is assumed failing (callers verify before invoking the shrinker);
+    the result is failing too — only failure-preserving steps are kept.
+    """
+    spender = _Budget(budget)
+    current = genome
+    while True:
+        before = current.schedule_size()
+        current = _ddmin_pass(current, failing, spender)
+        current = _reduce_genes_pass(current, failing, spender)
+        if current.schedule_size() >= before or spender.spent >= budget:
+            return current, spender.spent

@@ -1,0 +1,73 @@
+"""Property tests for the search genome: serialize -> deserialize ->
+replay must be the identity, all the way down to the run digest.
+
+Two tiers, as in the other property modules: cheap structural
+round-trips over many generated genomes, and a couple of full replays
+(each one is a whole simulated cluster run) asserting the digest-level
+claim the corpus and the minimal-repro bundles rely on."""
+
+import json
+import random
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.search.engine import evaluate_genome
+from repro.search.genome import (
+    ScheduleGenome,
+    SearchSpace,
+    mutate,
+    random_genome,
+)
+
+
+def genomes(draw_seed: int, steps: int) -> ScheduleGenome:
+    """One deterministic genome: generate, then walk some mutations —
+    covers the generator AND every mutation operator's output shape."""
+    rng = random.Random(draw_seed)
+    space = SearchSpace(n_sites=5)
+    genome = random_genome(rng, space)
+    for _ in range(steps):
+        genome = mutate(rng, genome, space)
+    return genome
+
+
+# ----------------------------------------------------------------------
+# Structural round-trip (cheap, many examples)
+# ----------------------------------------------------------------------
+@given(draw_seed=st.integers(0, 100_000), steps=st.integers(0, 12))
+@settings(deadline=None, max_examples=150)
+def test_json_round_trip_is_identity(draw_seed, steps):
+    genome = genomes(draw_seed, steps)
+    again = ScheduleGenome.loads(genome.dumps())
+    assert again == genome
+    assert again.digest() == genome.digest()
+    # Canonical form: dumps is stable under a re-dump of its parse.
+    assert json.loads(genome.dumps()) == again.to_dict()
+
+
+@given(draw_seed=st.integers(0, 100_000), steps=st.integers(0, 12))
+@settings(deadline=None, max_examples=150)
+def test_round_trip_preserves_derived_metrics(draw_seed, steps):
+    genome = genomes(draw_seed, steps)
+    again = ScheduleGenome.from_dict(genome.to_dict())
+    assert again.schedule_size() == genome.schedule_size()
+    assert again.total_duration() == genome.total_duration()
+    assert again.policy == genome.policy
+
+
+# ----------------------------------------------------------------------
+# Replay round-trip (expensive, few examples)
+# ----------------------------------------------------------------------
+@given(draw_seed=st.integers(0, 1_000))
+@settings(deadline=None, max_examples=3,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+def test_deserialized_genome_replays_to_identical_run_digest(draw_seed):
+    genome = genomes(draw_seed, 2)
+    direct = evaluate_genome(genome)
+    replayed = evaluate_genome(ScheduleGenome.loads(genome.dumps()))
+    assert replayed["run_digest"] == direct["run_digest"]
+    assert replayed["signatures"] == direct["signatures"]
+    assert replayed["coverage"] == direct["coverage"]
+    assert replayed["windows"] == direct["windows"]

@@ -1,0 +1,187 @@
+"""Unit tests for the adversarial search building blocks: genome
+serialization, policy-bounded generation/mutation, the ddmin shrinker
+against synthetic predicates, multi-window availability reporting, and
+the shared artifact renderer."""
+
+import json
+import random
+
+import pytest
+
+from repro.checkers import availability_violations, check_availability_floor
+from repro.checkers import ConsistencyViolation
+from repro.obs.epochs import EpochRecord
+from repro.search.genome import (
+    CorruptGene,
+    CrashGene,
+    PartitionGene,
+    QuietGene,
+    RestartGene,
+    ScheduleGenome,
+    SearchSpace,
+    gene_from_dict,
+    gene_to_dict,
+    mutate,
+    random_genome,
+)
+from repro.search.shrink import shrink
+
+
+def genome_of(*genes, seed=3, n_sites=5):
+    return ScheduleGenome(seed=seed, n_sites=n_sites, segments=tuple(genes))
+
+
+class TestGenomeSerialization:
+    def test_gene_round_trip_every_kind(self):
+        genes = [
+            CrashGene(victims=(0, 2), downtime=0.25, stagger=0.02),
+            PartitionGene(minority=(1, 3), hold=0.4, settle=0.1,
+                          shatter=True),
+            RestartGene(victims=(4,), hold=0.2),
+            CorruptGene(victim=2, op="lost_suffix", downtime=0.3),
+            QuietGene(duration_s=0.5),
+        ]
+        for gene in genes:
+            assert gene_from_dict(gene_to_dict(gene)) == gene
+
+    def test_genome_json_round_trip(self):
+        genome = genome_of(CrashGene(victims=(0, 1), downtime=0.2),
+                           QuietGene(duration_s=0.3))
+        again = ScheduleGenome.loads(genome.dumps())
+        assert again == genome
+        assert again.digest() == genome.digest()
+
+    def test_dumps_is_canonical_json(self):
+        genome = genome_of(QuietGene(duration_s=0.1))
+        payload = json.loads(genome.dumps())
+        assert payload == json.loads(
+            json.dumps(payload, sort_keys=True, indent=2))
+
+    def test_unknown_gene_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown gene kind"):
+            gene_from_dict({"kind": "meteor", "victims": [0]})
+
+    def test_unknown_corruption_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown corruption op"):
+            CorruptGene(victim=0, op="bitrot", downtime=0.1)
+
+
+class TestGenerationBounds:
+    def test_random_genomes_respect_the_policy_limit(self):
+        rng = random.Random(42)
+        space = SearchSpace(n_sites=5)
+        limit = space.concurrency_limit()
+        assert limit == 2
+        for _ in range(200):
+            genome = random_genome(rng, space)
+            assert (space.min_genes <= len(genome.segments)
+                    <= space.max_genes)
+            for gene in genome.segments:
+                for group in (getattr(gene, "victims", ()),
+                              getattr(gene, "minority", ())):
+                    assert len(group) <= limit
+                    assert all(0 <= v < space.n_sites for v in group)
+
+    def test_mutation_stays_inside_bounds(self):
+        rng = random.Random(7)
+        space = SearchSpace(n_sites=5)
+        genome = random_genome(rng, space)
+        for _ in range(300):
+            genome = mutate(rng, genome, space)
+            assert (space.min_genes <= len(genome.segments)
+                    <= space.max_genes)
+            assert 0 <= genome.seed < space.seeds
+            for gene in genome.segments:
+                for group in (getattr(gene, "victims", ()),
+                              getattr(gene, "minority", ())):
+                    assert len(group) <= space.concurrency_limit()
+
+    def test_mutation_changes_something(self):
+        rng = random.Random(1)
+        space = SearchSpace(n_sites=5)
+        genome = random_genome(rng, space)
+        assert any(mutate(rng, genome, space) != genome for _ in range(10))
+
+
+class TestShrinker:
+    def test_single_culprit_gene_isolated(self):
+        culprit = CorruptGene(victim=1, op="outcome_amnesia", downtime=0.2)
+        filler = [QuietGene(duration_s=0.3) for _ in range(5)]
+        genome = genome_of(*(filler[:3] + [culprit] + filler[3:]))
+
+        minimal, evals = shrink(
+            genome, lambda g: culprit in g.segments, budget=200)
+        assert list(minimal.segments) == [culprit]
+        assert evals > 0
+
+    def test_durations_reduced_to_the_floor(self):
+        genome = genome_of(QuietGene(duration_s=0.64))
+        minimal, _ = shrink(genome, lambda g: True, budget=200)
+        assert len(minimal.segments) == 1
+        assert minimal.segments[0].duration_s == pytest.approx(0.01)
+
+    def test_result_never_fails_the_predicate(self):
+        # Predicate needs BOTH crash genes: the pair survives, the rest
+        # goes.
+        a = CrashGene(victims=(0,), downtime=0.2)
+        b = CrashGene(victims=(1,), downtime=0.3)
+        genome = genome_of(QuietGene(duration_s=0.2), a,
+                           RestartGene(victims=(2,), hold=0.1), b)
+
+        def needs_both(g):
+            kinds = [gene for gene in g.segments
+                     if isinstance(gene, CrashGene)]
+            return a.victims in [k.victims for k in kinds] and \
+                b.victims in [k.victims for k in kinds]
+
+        minimal, _ = shrink(genome, needs_both, budget=300)
+        assert needs_both(minimal)
+        assert minimal.schedule_size() <= genome.schedule_size()
+
+    def test_budget_bounds_evaluations(self):
+        genome = genome_of(*[QuietGene(duration_s=0.5) for _ in range(6)])
+        _, evals = shrink(genome, lambda g: True, budget=5)
+        assert evals <= 5
+
+
+def bins(spec, bin_width=0.25, start=0.25):
+    samples, t = [], start
+    for ch in spec:
+        samples.append((t, 0 if ch in "m0" else 5, ch == "m"))
+        t += bin_width
+    return samples
+
+
+class TestMultiWindowViolations:
+    def test_every_violating_window_reported_longest_first(self):
+        spans = availability_violations(
+            bins("##00000##0000####"), window=1.0, bin_width=0.25)
+        assert [round(s.duration, 2) for s in spans] == [1.25, 1.0]
+
+    def test_min_span_returns_partial_damage(self):
+        spans = availability_violations(
+            bins("##00##"), window=1.0, bin_width=0.25, min_span=0.25)
+        assert len(spans) == 1
+        assert spans[0].duration == pytest.approx(0.5)
+
+    def test_checker_message_lists_all_windows(self):
+        with pytest.raises(ConsistencyViolation) as err:
+            check_availability_floor(bins("##00000##0000##"),
+                                     window=1.0, bin_width=0.25)
+        message = str(err.value)
+        assert "2 window(s)" in message
+        assert message.count("t=") == 4  # two start..end pairs
+
+    def test_epoch_classification_blocked_vs_uncovered(self):
+        # One dark span fully inside a reconfiguration epoch (blocked),
+        # one with no epoch anywhere near it (uncovered).
+        epochs = [EpochRecord(site="S1", trigger="crash", start=0.4,
+                              end=2.0)]
+        spans = availability_violations(
+            bins("##0000##u00000##".replace("u", "#")),
+            window=1.0, bin_width=0.25, epochs=epochs)
+        by_start = sorted(spans, key=lambda s: s.start)
+        assert by_start[0].covered is True
+        assert by_start[1].covered is False
+        assert "[blocked]" in by_start[0].describe()
+        assert "[uncovered]" in by_start[1].describe()
